@@ -1,0 +1,79 @@
+//! Bench: the ablation sweeps (A1–A5), the Countdown runtime (E14), and
+//! the site lifetime report — the design-choice studies layered on top of
+//! the paper's core experiments.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sustain_grid::region::Region;
+use sustain_hpc_core::experiments::ablation::{
+    backfill_flavour_sweep, forecast_scaling_ablation, green_threshold_sweep,
+    malleable_fraction_sweep,
+};
+use sustain_hpc_core::experiments::runtime::countdown_savings;
+use sustain_hpc_core::site::{lifetime_report, Site};
+use sustain_workload::phases::{run_phases, synth_phases, CountdownGovernor, CpuFreqModel};
+
+fn print_once() {
+    println!("\n--- A1 green-gate threshold (regenerated, 7 d) ---");
+    for r in green_threshold_sweep(Region::Finland, 7, 5) {
+        println!(
+            "{:<12} effective CI {:>6.1} | green {:>5.1} % | p95 wait {:>6.2} h",
+            r.label,
+            r.effective_job_ci,
+            r.green_energy_fraction * 100.0,
+            r.wait_p95_h
+        );
+    }
+    println!("--- A3 malleable adoption (regenerated) ---");
+    for r in malleable_fraction_sweep(Region::GreatBritain, 7, 7) {
+        println!("{:<16} violations {:>8.0} s", r.label, r.violation_s);
+    }
+    println!("--- E14 Countdown (regenerated) ---");
+    for r in countdown_savings(Region::Germany, 7) {
+        println!(
+            "comm {:>4.0} % -> saving {:>5.1} %",
+            r.communication_fraction * 100.0,
+            r.saving_fraction * 100.0
+        );
+    }
+    let lrz = lifetime_report(&Site::lrz_like());
+    println!(
+        "--- site: {} embodied share {:.1} % ---",
+        lrz.site,
+        lrz.embodied_share * 100.0
+    );
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    print_once();
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("a1_threshold_sweep_5x_7d", |b| {
+        b.iter(|| black_box(green_threshold_sweep(Region::Finland, 7, 5)))
+    });
+    g.bench_function("a3_malleable_sweep_5x_7d", |b| {
+        b.iter(|| black_box(malleable_fraction_sweep(Region::GreatBritain, 7, 7)))
+    });
+    g.bench_function("a4_forecast_ablation_4x_7d", |b| {
+        b.iter(|| black_box(forecast_scaling_ablation(Region::Finland, 7, 9)))
+    });
+    g.bench_function("a5_backfill_flavours_3x_7d", |b| {
+        b.iter(|| black_box(backfill_flavour_sweep(Region::Germany, 7, 3)))
+    });
+    g.bench_function("e14_countdown_sweep", |b| {
+        b.iter(|| black_box(countdown_savings(Region::Germany, 7)))
+    });
+    g.bench_function("countdown_kernel_4k_phases", |b| {
+        let phases = synth_phases(2_000, 12.0, 0.3, 1);
+        let cpu = CpuFreqModel::default();
+        let gov = CountdownGovernor::default();
+        b.iter(|| black_box(run_phases(&phases, &cpu, &gov)))
+    });
+    g.bench_function("site_lifetime_report", |b| {
+        let site = Site::lrz_like();
+        b.iter(|| black_box(lifetime_report(&site)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Bench: the §2.1/§2.2 design-time optimizers — the E6 DSE sweep, the
+//! E13 chiplet package optimizer, and the E7 budget trade-off.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sustain_carbon_model::budget::{optimize_joint, NodeDesign, ProcurementContext};
+use sustain_carbon_model::chiplet::{
+    optimize_package, ponte_vecchio_like_specs, DeploymentContext,
+};
+use sustain_carbon_model::dse::{default_design_space, optimize, DseContext};
+use sustain_carbon_model::metrics::DesignMetric;
+use sustain_hpc_core::experiments::{budget_tradeoff, dse_carbon_metrics};
+use sustain_sim_core::units::{Carbon, CarbonIntensity};
+
+fn print_once() {
+    println!("\n--- E6 (regenerated, CDP column) ---");
+    for r in dse_carbon_metrics() {
+        if r.metric == DesignMetric::Cdp {
+            println!(
+                "CI {:>5.0} g/kWh -> {:?} x{} cores @ {:.1} GHz ({:.1} kg footprint)",
+                r.grid_ci, r.node, r.cores, r.freq_ghz, r.footprint_kg
+            );
+        }
+    }
+    let t = budget_tradeoff();
+    if let Some(joint) = &t.rows.last().unwrap().plan {
+        println!(
+            "E7 joint optimum: {} nodes @ cap {:.2} -> {:.1} EF",
+            joint.nodes, joint.cap_fraction, joint.total_work_exaflop
+        );
+    }
+}
+
+fn bench_design(c: &mut Criterion) {
+    print_once();
+    let mut g = c.benchmark_group("design_space");
+    g.sample_size(20);
+    let space = default_design_space();
+    g.bench_function("e6_single_optimize", |b| {
+        let ctx = DseContext::hpc_default(CarbonIntensity::from_grams_per_kwh(300.0));
+        b.iter(|| black_box(optimize(&space, &ctx, DesignMetric::Cdp)))
+    });
+    g.bench_function("e6_full_metric_ci_sweep", |b| {
+        b.iter(|| black_box(dse_carbon_metrics()))
+    });
+    g.bench_function("e13_chiplet_package", |b| {
+        let specs = ponte_vecchio_like_specs();
+        let ctx = DeploymentContext::new(CarbonIntensity::from_grams_per_kwh(350.0));
+        b.iter(|| black_box(optimize_package(&specs, &ctx, DesignMetric::Carbon)))
+    });
+    g.bench_function("e7_joint_budget_optimization", |b| {
+        let design = NodeDesign::hpc_default();
+        let ctx = ProcurementContext::new(CarbonIntensity::from_grams_per_kwh(50.0));
+        b.iter(|| {
+            black_box(optimize_joint(
+                Carbon::from_tons(5_000.0),
+                &design,
+                &ctx,
+                4000,
+            ))
+        })
+    });
+    g.bench_function("e7_full_sweep", |b| b.iter(|| black_box(budget_tradeoff())));
+    g.finish();
+}
+
+criterion_group!(benches, bench_design);
+criterion_main!(benches);

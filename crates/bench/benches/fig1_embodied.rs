@@ -1,0 +1,50 @@
+//! Bench: Fig. 1 (E1) — embodied-carbon breakdown of the German Top-3
+//! systems — plus the component catalog's die-carbon kernel.
+//!
+//! Besides timing, the harness prints the regenerated figure rows once so
+//! `cargo bench` output doubles as the reproduction artifact.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sustain_carbon_model::components::catalog;
+use sustain_carbon_model::process::{FabProfile, TechnologyNode};
+use sustain_carbon_model::system::SystemInventory;
+use sustain_hpc_core::experiments::fig1_embodied_breakdown;
+
+fn print_fig1_once() {
+    println!("\n--- Fig. 1 (regenerated) ---");
+    for row in fig1_embodied_breakdown() {
+        println!(
+            "{:<14} CPU {:>6.0} t | GPU {:>6.0} t | DRAM {:>6.0} t | storage {:>6.0} t | mem+sto {:>5.1} %",
+            row.system,
+            row.cpu_t,
+            row.gpu_t,
+            row.dram_t,
+            row.storage_t,
+            row.memory_storage_share * 100.0
+        );
+    }
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    print_fig1_once();
+    let mut g = c.benchmark_group("fig1");
+    g.bench_function("full_breakdown_top3", |b| {
+        b.iter(|| black_box(fig1_embodied_breakdown()))
+    });
+    g.bench_function("single_system_breakdown", |b| {
+        let sys = SystemInventory::juwels_booster();
+        b.iter(|| black_box(sys.breakdown()))
+    });
+    g.bench_function("a100_part_embodied", |b| {
+        let part = catalog::nvidia_a100_40gb();
+        b.iter(|| black_box(part.embodied()))
+    });
+    g.bench_function("die_carbon_kernel", |b| {
+        let fab = FabProfile::for_node(TechnologyNode::N7);
+        b.iter(|| black_box(fab.die_carbon(black_box(8.26))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

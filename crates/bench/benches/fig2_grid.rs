@@ -1,0 +1,80 @@
+//! Bench: Fig. 2 (E3) — synthetic January-2023 carbon-intensity traces
+//! for all regions, plus the forecasting and green-period kernels the §3
+//! policies depend on.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sustain_grid::forecast::{backtest, HoltWinters, Persistence, SeasonalNaive};
+use sustain_grid::green::GreenDetector;
+use sustain_grid::region::{Region, RegionProfile};
+use sustain_grid::synth::{generate_calibrated, generate_hourly};
+use sustain_hpc_core::experiments::fig2_carbon_intensity;
+
+fn print_fig2_once() {
+    println!("\n--- Fig. 2 (regenerated) ---");
+    let fig2 = fig2_carbon_intensity(2023);
+    for row in &fig2.rows {
+        println!(
+            "{:<16} mean {:>6.1} g/kWh | daily σ {:>6.2} | day range [{:>6.1}, {:>6.1}]",
+            row.region, row.monthly_mean, row.daily_std, row.min_daily, row.max_daily
+        );
+    }
+    println!(
+        "FI/FR ratio {:.2} (paper 2.1) | FI σ {:.2} (paper 47.21)",
+        fig2.finland_france_ratio, fig2.finland_daily_std
+    );
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    print_fig2_once();
+    let mut g = c.benchmark_group("fig2");
+    g.bench_function("all_regions_january", |b| {
+        b.iter(|| black_box(fig2_carbon_intensity(black_box(2023))))
+    });
+    g.bench_function("single_region_hourly_31d", |b| {
+        let p = RegionProfile::january_2023(Region::Finland);
+        b.iter(|| black_box(generate_hourly(&p, 31, black_box(1))))
+    });
+    g.bench_function("calibrated_region_31d", |b| {
+        let p = RegionProfile::january_2023(Region::Finland);
+        b.iter(|| black_box(generate_calibrated(&p, 31, black_box(1))))
+    });
+    let trace = generate_calibrated(&RegionProfile::january_2023(Region::Finland), 31, 7);
+    g.bench_function("green_period_detection", |b| {
+        let det = GreenDetector::default();
+        b.iter(|| black_box(det.detect(&trace)))
+    });
+    g.bench_function("forecast_persistence_24h", |b| {
+        b.iter(|| {
+            black_box(backtest(
+                &mut Persistence::default(),
+                trace.series(),
+                24 * 28,
+                24,
+            ))
+        })
+    });
+    g.bench_function("forecast_seasonal_naive_24h", |b| {
+        b.iter(|| {
+            black_box(backtest(
+                &mut SeasonalNaive::daily(),
+                trace.series(),
+                24 * 28,
+                24,
+            ))
+        })
+    });
+    g.bench_function("forecast_holt_winters_24h", |b| {
+        b.iter(|| {
+            black_box(backtest(
+                &mut HoltWinters::daily_default(),
+                trace.series(),
+                24 * 28,
+                24,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Bench: the §3.1 PowerStack — hierarchical budget division, node cap
+//! distribution, the closed control loop, and carbon-aware budget-series
+//! generation (the kernel of E8).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sustain_grid::region::{Region, RegionProfile};
+use sustain_grid::synth::generate_calibrated;
+use sustain_power::budget::{divide, BudgetRequest, DivisionPolicy};
+use sustain_power::carbon_scaler::{evaluate_policy, ScalingPolicy};
+use sustain_power::controller::{simulate_loop, PowerController};
+use sustain_power::node::NodePowerModel;
+use sustain_sim_core::units::Power;
+
+fn scaling_policy() -> ScalingPolicy {
+    ScalingPolicy::Linear {
+        floor: Power::from_mw(2.0),
+        ceiling: Power::from_mw(5.0),
+        ci_low: 300.0,
+        ci_high: 650.0,
+    }
+}
+
+fn print_once() {
+    let trace = generate_calibrated(&RegionProfile::january_2023(Region::Finland), 31, 42);
+    let scaled = evaluate_policy(&scaling_policy(), &trace);
+    let static_pol = ScalingPolicy::Static {
+        budget: scaled.mean_power,
+    };
+    let stat = evaluate_policy(&static_pol, &trace);
+    println!(
+        "\n--- E8 kernel (full-budget bound): static {:.1} g/kWh vs linear {:.1} g/kWh ({:.1} % cleaner) ---",
+        stat.effective_ci,
+        scaled.effective_ci,
+        (1.0 - scaled.effective_ci / stat.effective_ci) * 100.0
+    );
+}
+
+fn bench_powerstack(c: &mut Criterion) {
+    print_once();
+    let mut g = c.benchmark_group("powerstack");
+
+    let requests: Vec<BudgetRequest> = (0..128)
+        .map(|i| {
+            BudgetRequest::new(
+                format!("job{i}"),
+                Power::from_kw(0.4),
+                Power::from_kw(2.0 + (i % 7) as f64),
+            )
+            .priority(i % 5)
+        })
+        .collect();
+    let total = Power::from_kw(160.0);
+    for policy in [
+        DivisionPolicy::EqualShare,
+        DivisionPolicy::DemandProportional,
+        DivisionPolicy::PriorityOrder,
+    ] {
+        g.bench_function(format!("divide_128_jobs_{policy:?}"), |b| {
+            b.iter(|| black_box(divide(total, &requests, policy)))
+        });
+    }
+
+    g.bench_function("node_cap_distribution", |b| {
+        let node = NodePowerModel::gpu_node();
+        b.iter(|| black_box(node.distribute(black_box(Power::from_kw(1.2)))))
+    });
+
+    g.bench_function("control_loop_1000_steps", |b| {
+        b.iter(|| {
+            let mut ctl = PowerController::new(Power::from_kw(1.0), Power::from_kw(10.0));
+            black_box(simulate_loop(
+                &mut ctl,
+                |k| {
+                    if k % 100 < 50 {
+                        Power::from_kw(4.0)
+                    } else {
+                        Power::from_kw(9.0)
+                    }
+                },
+                Power::from_kw(9.5),
+                0.8,
+                1000,
+            ))
+        })
+    });
+
+    let trace = generate_calibrated(&RegionProfile::january_2023(Region::Finland), 31, 42);
+    g.bench_function("budget_series_31d", |b| {
+        let policy = scaling_policy();
+        b.iter(|| black_box(policy.budget_series(&trace)))
+    });
+    g.bench_function("evaluate_policy_31d", |b| {
+        let policy = scaling_policy();
+        b.iter(|| black_box(evaluate_policy(&policy, &trace)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_powerstack);
+criterion_main!(benches);

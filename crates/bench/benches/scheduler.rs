@@ -1,0 +1,91 @@
+//! Bench: the RJMS simulator — E8 (carbon-aware power scaling), E9
+//! (malleability), E10 (carbon-aware scheduling + checkpointing), plus
+//! raw simulator throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sustain_hpc_core::experiments::operations::{
+    carbon_aware_power_scaling, carbon_aware_scheduling, malleability_under_power,
+};
+use sustain_grid::region::Region;
+use sustain_scheduler::cluster::Cluster;
+use sustain_scheduler::sim::{simulate, Policy, SimConfig};
+use sustain_sim_core::time::SimDuration;
+use sustain_workload::synth::{generate, WorkloadConfig};
+
+fn print_once() {
+    println!("\n--- E8 (regenerated, 7 simulated days) ---");
+    for r in carbon_aware_power_scaling(Region::Finland, 7, 42) {
+        println!(
+            "{:<16} effective CI {:>6.1} g/kWh | p95 wait {:>6.2} h | util {:>5.1} %",
+            r.label,
+            r.effective_job_ci,
+            r.wait_p95_h,
+            r.utilization * 100.0
+        );
+    }
+    println!("--- E9 (regenerated) ---");
+    for r in malleability_under_power(Region::GreatBritain, 7, 7) {
+        println!(
+            "{:<16} violations {:>8.0} s | completed {:>5} | util {:>5.1} %",
+            r.label,
+            r.violation_s,
+            r.completed,
+            r.utilization * 100.0
+        );
+    }
+    println!("--- E10 (regenerated) ---");
+    for r in carbon_aware_scheduling(Region::Finland, 7, 11) {
+        println!(
+            "{:<16} effective CI {:>6.1} g/kWh | green {:>5.1} % | p95 wait {:>6.2} h",
+            r.label,
+            r.effective_job_ci,
+            r.green_energy_fraction * 100.0,
+            r.wait_p95_h
+        );
+    }
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    print_once();
+    let mut g = c.benchmark_group("scheduler");
+    g.sample_size(10);
+
+    // Raw simulator throughput across policies and scales.
+    for (label, arrivals) in [("light", 2.0), ("heavy", 6.0)] {
+        let cfg_wl = WorkloadConfig {
+            arrivals_per_hour: arrivals,
+            max_nodes: 128,
+            ..WorkloadConfig::default()
+        };
+        let jobs = generate(&cfg_wl, SimDuration::from_days(7.0), 3);
+        for policy in [Policy::Fcfs, Policy::EasyBackfill] {
+            let cfg = SimConfig {
+                policy: policy.clone(),
+                ..SimConfig::easy(Cluster::new(512))
+            };
+            g.bench_with_input(
+                BenchmarkId::new(
+                    format!("simulate_7d_{label}"),
+                    format!("{policy:?}").split('(').next().unwrap().to_string(),
+                ),
+                &jobs,
+                |b, jobs| b.iter(|| black_box(simulate(jobs, &cfg))),
+            );
+        }
+    }
+
+    // The full experiment drivers at reduced horizon.
+    g.bench_function("e8_power_scaling_4x_7d", |b| {
+        b.iter(|| black_box(carbon_aware_power_scaling(Region::Finland, 7, 42)))
+    });
+    g.bench_function("e9_malleability_2x_7d", |b| {
+        b.iter(|| black_box(malleability_under_power(Region::GreatBritain, 7, 7)))
+    });
+    g.bench_function("e10_carbon_scheduling_3x_7d", |b| {
+        b.iter(|| black_box(carbon_aware_scheduling(Region::Finland, 7, 11)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Bench: the simulation substrate — event-queue throughput, RNG stream
+//! generation, time-series integration, and workload synthesis. These are
+//! the kernels every experiment sits on.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use sustain_sim_core::event::EventQueue;
+use sustain_sim_core::rng::RngStream;
+use sustain_sim_core::series::TimeSeries;
+use sustain_sim_core::time::{SimDuration, SimTime};
+use sustain_workload::synth::{generate, WorkloadConfig};
+
+fn bench_substrate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate");
+
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(10_000);
+            for i in 0..10_000u64 {
+                // Pseudo-shuffled times exercise heap reordering.
+                let t = ((i.wrapping_mul(2654435761)) % 100_000) as f64;
+                q.schedule(SimTime::from_secs(t), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            black_box(sum)
+        })
+    });
+
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("rng_normal_100k", |b| {
+        b.iter(|| {
+            let mut r = RngStream::new(1);
+            let mut acc = 0.0;
+            for _ in 0..100_000 {
+                acc += r.normal(0.0, 1.0);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("rng_lognormal_100k", |b| {
+        b.iter(|| {
+            let mut r = RngStream::new(1);
+            let mut acc = 0.0;
+            for _ in 0..100_000 {
+                acc += r.lognormal(8.0, 1.4);
+            }
+            black_box(acc)
+        })
+    });
+
+    g.throughput(Throughput::Elements(24 * 365));
+    let year = TimeSeries::from_fn(
+        SimTime::ZERO,
+        SimDuration::from_hours(1.0),
+        24 * 365,
+        |t| 300.0 + 50.0 * (t.as_hours() * 0.1).sin(),
+    );
+    g.bench_function("series_integrate_year", |b| {
+        b.iter(|| black_box(year.integrate(SimTime::from_days(10.0), SimTime::from_days(300.0))))
+    });
+    g.bench_function("series_daily_means_year", |b| {
+        b.iter(|| black_box(year.daily_means()))
+    });
+
+    g.bench_function("workload_generate_30d", |b| {
+        let cfg = WorkloadConfig::default();
+        b.iter(|| black_box(generate(&cfg, SimDuration::from_days(30.0), black_box(1))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_substrate);
+criterion_main!(benches);

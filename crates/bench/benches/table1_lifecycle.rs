@@ -1,0 +1,46 @@
+//! Bench: Table 1 (E2) and the §2.3 lifecycle machinery — LRZ lifetimes,
+//! fleet amortization, and reuse/recycle/extension studies (E5).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sustain_carbon_model::lifecycle::system_eol_study;
+use sustain_carbon_model::system::SystemInventory;
+use sustain_hpc_core::experiments::{claim_reuse_vs_recycle, table1_lrz_lifetimes};
+
+fn print_once() {
+    println!("\n--- Table 1 (regenerated) ---");
+    let t = table1_lrz_lifetimes();
+    for r in &t.rows {
+        println!(
+            "{:<22} {} - {}",
+            r.name,
+            r.start_year,
+            r.decommissioned_year
+                .map(|y| y.to_string())
+                .unwrap_or_else(|| "-".into())
+        );
+    }
+    let eol = claim_reuse_vs_recycle();
+    println!(
+        "HDD reuse/recycle ratio: {:.0}x (paper 275x)",
+        eol.hdd_reuse_vs_recycle
+    );
+}
+
+fn bench_lifecycle(c: &mut Criterion) {
+    print_once();
+    let mut g = c.benchmark_group("table1_lifecycle");
+    g.bench_function("table1_with_amortization", |b| {
+        b.iter(|| black_box(table1_lrz_lifetimes()))
+    });
+    g.bench_function("e5_reuse_vs_recycle_top3", |b| {
+        b.iter(|| black_box(claim_reuse_vs_recycle()))
+    });
+    g.bench_function("single_system_eol_study", |b| {
+        let sys = SystemInventory::hawk();
+        b.iter(|| black_box(system_eol_study(&sys, 5.0, 2.0)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_lifecycle);
+criterion_main!(benches);

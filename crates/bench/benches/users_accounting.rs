@@ -1,0 +1,83 @@
+//! Bench: the §3.4 user-facing layer — over-allocation waste (E11a),
+//! green incentives (E11b), billing, per-job profiling, and the Carbon500
+//! ranking (E12).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sustain_grid::green::GreenDetector;
+use sustain_grid::region::{Region, RegionProfile};
+use sustain_grid::synth::generate_calibrated;
+use sustain_hpc_core::experiments::users::{
+    billing_demo, carbon500, green_incentives, user_overallocation,
+};
+use sustain_hpc_core::prelude::*;
+use sustain_telemetry::accounting::profile_job;
+use sustain_telemetry::incentive::IncentiveScheme;
+
+fn print_once() {
+    println!("\n--- E11a (regenerated, 7 simulated days) ---");
+    for r in user_overallocation(Region::Germany, 7, 3) {
+        println!(
+            "over-allocating {:>3.0} % -> energy {:>8.0} kWh (+{:>6.0}), carbon {:>6.2} t",
+            r.overallocating_fraction * 100.0,
+            r.job_energy_kwh,
+            r.excess_energy_kwh,
+            r.job_carbon_t
+        );
+    }
+    println!("--- E12 (regenerated) ---");
+    for row in carbon500() {
+        println!(
+            "#{} {:<24} {:>9.0} Gflop/s-h per kg",
+            row.rank, row.name, row.efficiency
+        );
+    }
+}
+
+fn bench_users(c: &mut Criterion) {
+    print_once();
+    let mut g = c.benchmark_group("users_accounting");
+    g.sample_size(10);
+
+    g.bench_function("e11a_overallocation_sweep_7d", |b| {
+        b.iter(|| black_box(user_overallocation(Region::Germany, 7, 3)))
+    });
+    g.bench_function("e11b_incentive_sweep", |b| {
+        b.iter(|| black_box(green_incentives(Region::Finland, 5)))
+    });
+    g.bench_function("e12_carbon500_ranking", |b| {
+        b.iter(|| black_box(carbon500()))
+    });
+    g.bench_function("billing_demo_week", |b| {
+        b.iter(|| black_box(billing_demo(2023)))
+    });
+
+    // Per-record kernels on a realistic result set.
+    let mut scenario = Scenario::baseline(
+        "bench",
+        RegionProfile::january_2023(Region::Finland),
+        5,
+    );
+    scenario.cluster = Cluster::new(600);
+    let result = run(&scenario);
+    let trace = generate_calibrated(&RegionProfile::january_2023(Region::Finland), 5, 2023);
+    let det = GreenDetector::default();
+    g.bench_function("profile_all_jobs", |b| {
+        b.iter(|| {
+            for rec in &result.outcome.records {
+                black_box(profile_job(rec, &trace, &det));
+            }
+        })
+    });
+    g.bench_function("bill_all_jobs", |b| {
+        let scheme = IncentiveScheme::default();
+        b.iter(|| {
+            for rec in &result.outcome.records {
+                black_box(scheme.bill(rec, &trace, &det));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_users);
+criterion_main!(benches);

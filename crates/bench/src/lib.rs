@@ -1,0 +1,5 @@
+//! Bench crate: see `benches/` for the Criterion harnesses.
+#![forbid(unsafe_code)]
+/// The bench crate has no library API; the Criterion harnesses in
+/// `benches/` link against the workspace crates directly.
+pub fn _placeholder() {}

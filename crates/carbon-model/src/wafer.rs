@@ -1,0 +1,149 @@
+//! Wafer-level die accounting.
+//!
+//! The per-cm² fab model in [`crate::process`] abstracts the wafer away;
+//! this module adds the geometric layer for studies that need it (E13
+//! refinements, cost-per-die analyses): gross dies per 300 mm wafer with
+//! edge loss and scribe lines, and wafer-based die carbon that accounts
+//! for the unusable edge area — a real effect that penalizes large dies
+//! beyond the yield premium.
+
+use crate::process::FabProfile;
+use serde::{Deserialize, Serialize};
+use sustain_sim_core::units::Carbon;
+
+/// A wafer specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WaferSpec {
+    /// Wafer diameter in mm (300 for modern fabs).
+    pub diameter_mm: f64,
+    /// Edge exclusion ring in mm (unusable rim).
+    pub edge_exclusion_mm: f64,
+    /// Scribe-line width between dies, mm.
+    pub scribe_mm: f64,
+}
+
+impl Default for WaferSpec {
+    fn default() -> Self {
+        WaferSpec {
+            diameter_mm: 300.0,
+            edge_exclusion_mm: 3.0,
+            scribe_mm: 0.1,
+        }
+    }
+}
+
+impl WaferSpec {
+    /// Usable wafer area in cm².
+    pub fn usable_area_cm2(&self) -> f64 {
+        let r_mm = self.diameter_mm / 2.0 - self.edge_exclusion_mm;
+        std::f64::consts::PI * r_mm * r_mm / 100.0
+    }
+
+    /// Gross dies per wafer for a square-ish die of `die_area_cm2`, using
+    /// the industry approximation
+    /// `DPW = π·d²/(4A) − π·d/√(2A)` (with the scribe added to the die
+    /// footprint).
+    ///
+    /// # Panics
+    /// Panics if the die (plus scribe) does not fit the wafer.
+    pub fn gross_dies(&self, die_area_cm2: f64) -> u32 {
+        assert!(die_area_cm2 > 0.0, "die area must be positive");
+        let side_mm = (die_area_cm2 * 100.0).sqrt() + self.scribe_mm;
+        let a_mm2 = side_mm * side_mm;
+        let d = self.diameter_mm - 2.0 * self.edge_exclusion_mm;
+        assert!(
+            side_mm < d,
+            "die side {side_mm} mm does not fit wafer diameter {d} mm"
+        );
+        let dpw = std::f64::consts::PI * d * d / (4.0 * a_mm2)
+            - std::f64::consts::PI * d / (2.0 * a_mm2).sqrt();
+        dpw.max(1.0).floor() as u32
+    }
+
+    /// Good dies per wafer under the fab's yield model.
+    pub fn good_dies(&self, die_area_cm2: f64, fab: &FabProfile) -> f64 {
+        self.gross_dies(die_area_cm2) as f64 * fab.die_yield(die_area_cm2)
+    }
+
+    /// Total manufacturing carbon of one whole processed wafer under a fab
+    /// profile (the whole wafer is processed, edge and scribe included).
+    pub fn wafer_carbon(&self, fab: &FabProfile) -> Carbon {
+        let full_area_cm2 =
+            std::f64::consts::PI * (self.diameter_mm / 2.0) * (self.diameter_mm / 2.0) / 100.0;
+        Carbon::from_kg(full_area_cm2 * fab.carbon_per_cm2_kg())
+    }
+
+    /// Carbon per *good* die via full wafer accounting: wafer carbon
+    /// divided by good dies. Strictly above the area-based
+    /// [`FabProfile::die_carbon`] because edge loss and scribe are real.
+    pub fn die_carbon_via_wafer(&self, die_area_cm2: f64, fab: &FabProfile) -> Carbon {
+        let good = self.good_dies(die_area_cm2, fab);
+        assert!(good >= 1.0, "no good dies per wafer at this size/yield");
+        self.wafer_carbon(fab) * (1.0 / good)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::TechnologyNode;
+
+    #[test]
+    fn usable_area_reasonable() {
+        let w = WaferSpec::default();
+        // π × 147² mm² ≈ 679 cm².
+        assert!((w.usable_area_cm2() - 679.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn gross_dies_known_ballparks() {
+        let w = WaferSpec::default();
+        // A100-class die (8.26 cm² ≈ 28.7 mm side): ~55-70 per 300 mm wafer.
+        let big = w.gross_dies(8.26);
+        assert!((50..=75).contains(&big), "big die count {big}");
+        // Zen2 CCD (0.74 cm²): several hundred.
+        let small = w.gross_dies(0.74);
+        assert!((600..=850).contains(&small), "small die count {small}");
+    }
+
+    #[test]
+    fn smaller_dies_pack_superlinearly() {
+        let w = WaferSpec::default();
+        let at_1 = w.gross_dies(1.0);
+        let at_4 = w.gross_dies(4.0);
+        // Quartering the area more than quadruples the count (edge effects).
+        assert!(at_1 > 4 * at_4, "{at_1} vs {at_4}");
+    }
+
+    #[test]
+    fn wafer_accounting_exceeds_area_accounting() {
+        let w = WaferSpec::default();
+        let fab = FabProfile::for_node(TechnologyNode::N7);
+        for area in [0.74, 4.0, 8.26] {
+            let via_wafer = w.die_carbon_via_wafer(area, &fab).kg();
+            let via_area = fab.die_carbon(area).kg();
+            assert!(
+                via_wafer > via_area,
+                "area {area}: wafer {via_wafer} ≤ area model {via_area}"
+            );
+            // But within 2x: the approximation is close for sane dies.
+            assert!(via_wafer < 2.0 * via_area, "area {area}");
+        }
+    }
+
+    #[test]
+    fn good_dies_below_gross() {
+        let w = WaferSpec::default();
+        let fab = FabProfile::for_node(TechnologyNode::N5);
+        let gross = w.gross_dies(2.0) as f64;
+        let good = w.good_dies(2.0, &fab);
+        assert!(good < gross);
+        assert!(good > 0.5 * gross, "yield collapse unexpected");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit wafer")]
+    fn oversized_die_rejected() {
+        WaferSpec::default().gross_dies(900.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Design-time experiments: processor DSE under carbon metrics (E6) and
+//! the embodied↔operational budget trade-off (E7).
+
+use serde::{Deserialize, Serialize};
+use sustain_carbon_model::budget::{
+    budget_tradeoff_sweep, BudgetTradeoffRow, NodeDesign, ProcurementContext,
+};
+use sustain_carbon_model::dse::{default_design_space, metric_ci_sweep, DseContext};
+use sustain_carbon_model::metrics::DesignMetric;
+use sustain_carbon_model::process::TechnologyNode;
+use sustain_sim_core::units::{Carbon, CarbonIntensity};
+
+/// One row of the E6 table: the optimal design per (grid CI, metric).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DseRow {
+    /// Grid carbon intensity, g/kWh.
+    pub grid_ci: f64,
+    /// Objective metric.
+    pub metric: DesignMetric,
+    /// Optimal node.
+    pub node: TechnologyNode,
+    /// Optimal core count.
+    pub cores: u32,
+    /// Optimal frequency, GHz.
+    pub freq_ghz: f64,
+    /// Metric value at the optimum.
+    pub metric_value: f64,
+    /// Workload carbon footprint at the optimum, kg.
+    pub footprint_kg: f64,
+}
+
+/// Runs E6: optima for every metric across a grid-intensity sweep
+/// (hydropower 20 → coal 1025 g/kWh).
+pub fn dse_carbon_metrics() -> Vec<DseRow> {
+    let space = default_design_space();
+    let base = DseContext::hpc_default(CarbonIntensity::ZERO);
+    let cis = [20.0, 100.0, 300.0, 600.0, 1025.0];
+    metric_ci_sweep(&space, &cis, &base)
+        .into_iter()
+        .map(|(ci, metric, best)| DseRow {
+            grid_ci: ci,
+            metric,
+            node: best.design.node,
+            cores: best.design.cores,
+            freq_ghz: best.design.freq_ghz,
+            metric_value: best.metric_value,
+            footprint_kg: best.footprint.total().kg(),
+        })
+        .collect()
+}
+
+/// E7 result: fixed-split rows plus the joint optimum, at a given site
+/// grid intensity.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BudgetTradeoffResult {
+    /// Site grid intensity, g/kWh.
+    pub grid_ci: f64,
+    /// Total carbon budget, t.
+    pub budget_t: f64,
+    /// Sweep rows (the last row is the joint optimum).
+    pub rows: Vec<BudgetTradeoffRow>,
+}
+
+/// Runs E7 at a fairly clean site (50 g/kWh), where the trade-off is
+/// live.
+pub fn budget_tradeoff() -> BudgetTradeoffResult {
+    let design = NodeDesign::hpc_default();
+    let ctx = ProcurementContext::new(CarbonIntensity::from_grams_per_kwh(50.0));
+    let budget = Carbon::from_tons(5_000.0);
+    let shares = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+    BudgetTradeoffResult {
+        grid_ci: 50.0,
+        budget_t: budget.tons(),
+        rows: budget_tradeoff_sweep(budget, &design, &ctx, &shares, 4000),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// E6 core claims: the optimum depends on the metric and, for carbon
+    /// metrics, on the grid intensity.
+    #[test]
+    fn e6_optimum_varies() {
+        let rows = dse_carbon_metrics();
+        assert_eq!(rows.len(), 5 * DesignMetric::ALL.len());
+        // At any fixed CI, Delay and CEP disagree.
+        let at = |ci: f64, m: DesignMetric| {
+            rows.iter()
+                .find(|r| r.grid_ci == ci && r.metric == m)
+                .unwrap()
+        };
+        let delay = at(300.0, DesignMetric::Delay);
+        let cep = at(300.0, DesignMetric::Cep);
+        assert!(
+            delay.cores != cep.cores || delay.freq_ghz != cep.freq_ghz || delay.node != cep.node
+        );
+        // CDP optimum shifts between hydro and coal.
+        let cdp_clean = at(20.0, DesignMetric::Cdp);
+        let cdp_dirty = at(1025.0, DesignMetric::Cdp);
+        assert!(
+            cdp_clean.cores != cdp_dirty.cores
+                || cdp_clean.freq_ghz != cdp_dirty.freq_ghz
+                || cdp_clean.node != cdp_dirty.node
+        );
+        // Non-carbon metrics are CI-invariant.
+        let edp_clean = at(20.0, DesignMetric::Edp);
+        let edp_dirty = at(1025.0, DesignMetric::Edp);
+        assert_eq!(edp_clean.cores, edp_dirty.cores);
+        assert_eq!(edp_clean.freq_ghz, edp_dirty.freq_ghz);
+        assert_eq!(edp_clean.node, edp_dirty.node);
+    }
+
+    #[test]
+    fn e6_dirtier_grids_never_raise_footprint_optimum_frequency() {
+        let rows = dse_carbon_metrics();
+        let freqs: Vec<f64> = [20.0, 100.0, 300.0, 600.0, 1025.0]
+            .iter()
+            .map(|&ci| {
+                rows.iter()
+                    .find(|r| r.grid_ci == ci && r.metric == DesignMetric::Carbon)
+                    .unwrap()
+                    .freq_ghz
+            })
+            .collect();
+        for w in freqs.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "freq rose with CI: {freqs:?}");
+        }
+    }
+
+    /// E7 core claim: the joint optimum beats every fixed split.
+    #[test]
+    fn e7_joint_dominates() {
+        let r = budget_tradeoff();
+        let joint = r
+            .rows
+            .last()
+            .unwrap()
+            .plan
+            .as_ref()
+            .expect("joint plan feasible");
+        for row in &r.rows[..r.rows.len() - 1] {
+            if let Some(plan) = &row.plan {
+                assert!(
+                    joint.total_work_exaflop >= plan.total_work_exaflop * 0.999,
+                    "share {:?}: {} beats joint {}",
+                    row.embodied_share,
+                    plan.total_work_exaflop,
+                    joint.total_work_exaflop
+                );
+            }
+        }
+        assert!(joint.total_carbon().tons() <= r.budget_t * 1.0001);
+    }
+
+    #[test]
+    fn e7_extreme_splits_are_poor_or_infeasible() {
+        let r = budget_tradeoff();
+        let joint_work = r.rows.last().unwrap().plan.as_ref().unwrap().total_work_exaflop;
+        // Spending 90 % on embodied leaves too little operational budget.
+        let row90 = r
+            .rows
+            .iter()
+            .find(|row| row.embodied_share == Some(0.9))
+            .unwrap();
+        match &row90.plan {
+            None => {}
+            Some(p) => assert!(p.total_work_exaflop < joint_work * 0.9),
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! E3 — regenerates Fig. 2: averaged daily marginal carbon intensities
+//! across European regions in January 2023, plus the average-vs-marginal
+//! demonstration behind the figure's "marginal" qualifier.
+
+use serde::{Deserialize, Serialize};
+use sustain_grid::marginal::MeritOrderStack;
+use sustain_grid::region::{Region, RegionProfile};
+use sustain_grid::synth::generate_calibrated;
+
+/// One region's Fig. 2 series and summary statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig2Row {
+    /// Region name.
+    pub region: String,
+    /// 31 daily means, g/kWh — the plotted series.
+    pub daily_means: Vec<f64>,
+    /// Monthly mean, g/kWh.
+    pub monthly_mean: f64,
+    /// Standard deviation of the daily means.
+    pub daily_std: f64,
+    /// Lowest daily mean.
+    pub min_daily: f64,
+    /// Highest daily mean.
+    pub max_daily: f64,
+}
+
+/// The full Fig. 2 result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig2Result {
+    /// Per-region rows, in display order.
+    pub rows: Vec<Fig2Row>,
+    /// Finland / France monthly-mean ratio (paper: 2.1×).
+    pub finland_france_ratio: f64,
+    /// Finland's daily standard deviation (paper: 47.21).
+    pub finland_daily_std: f64,
+}
+
+/// Runs E3: synthesizes January 2023 for every region.
+pub fn fig2_carbon_intensity(seed: u64) -> Fig2Result {
+    let rows: Vec<Fig2Row> = Region::ALL
+        .iter()
+        .map(|&region| {
+            let profile = RegionProfile::january_2023(region);
+            let trace = generate_calibrated(&profile, 31, seed);
+            let daily = trace.daily_means();
+            let stats = trace.daily_stats();
+            Fig2Row {
+                region: region.name().to_string(),
+                daily_means: daily.values().to_vec(),
+                monthly_mean: stats.mean(),
+                daily_std: stats.std_dev(),
+                min_daily: stats.min(),
+                max_daily: stats.max(),
+            }
+        })
+        .collect();
+    let fi = rows.iter().find(|r| r.region == "Finland").unwrap();
+    let fr = rows.iter().find(|r| r.region == "France").unwrap();
+    Fig2Result {
+        finland_france_ratio: fi.monthly_mean / fr.monthly_mean,
+        finland_daily_std: fi.daily_std,
+        rows,
+    }
+}
+
+/// Average-vs-marginal demonstration (the figure's footnote reference):
+/// `(demand_gw, average_ci, marginal_ci)` rows over a demand sweep.
+pub fn average_vs_marginal_sweep() -> Vec<(f64, f64, f64)> {
+    let stack = MeritOrderStack::european_winter();
+    [20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 79.0]
+        .iter()
+        .map(|&gw| {
+            let mw = gw * 1000.0;
+            (
+                gw,
+                stack.average_intensity(mw).grams_per_kwh(),
+                stack.marginal_intensity(mw).grams_per_kwh(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper anchors: FI/FR = 2.1×, FI daily σ = 47.21.
+    #[test]
+    fn fig2_anchors() {
+        let r = fig2_carbon_intensity(2023);
+        assert!(
+            (r.finland_france_ratio - 2.1).abs() < 0.02,
+            "ratio {}",
+            r.finland_france_ratio
+        );
+        assert!(
+            (r.finland_daily_std - 47.21).abs() < 0.05,
+            "std {}",
+            r.finland_daily_std
+        );
+    }
+
+    #[test]
+    fn fig2_covers_all_regions_with_31_days() {
+        let r = fig2_carbon_intensity(1);
+        assert_eq!(r.rows.len(), Region::ALL.len());
+        for row in &r.rows {
+            assert_eq!(row.daily_means.len(), 31, "{}", row.region);
+            assert!(row.min_daily <= row.monthly_mean);
+            assert!(row.max_daily >= row.monthly_mean);
+            assert!(row.monthly_mean > 0.0);
+        }
+    }
+
+    /// Fig. 2's visual message: regions differ in level *and* volatility.
+    #[test]
+    fn fig2_shows_level_and_volatility_spread() {
+        let r = fig2_carbon_intensity(7);
+        let means: Vec<f64> = r.rows.iter().map(|x| x.monthly_mean).collect();
+        let max_mean = means.iter().fold(0.0f64, |a, &b| a.max(b));
+        let min_mean = means.iter().fold(f64::MAX, |a, &b| a.min(b));
+        assert!(max_mean > 4.0 * min_mean, "levels too uniform");
+        let stds: Vec<f64> = r.rows.iter().map(|x| x.daily_std).collect();
+        let max_std = stds.iter().fold(0.0f64, |a, &b| a.max(b));
+        let min_std = stds.iter().fold(f64::MAX, |a, &b| a.min(b));
+        assert!(max_std > 2.0 * min_std, "volatility too uniform");
+    }
+
+    #[test]
+    fn marginal_exceeds_average_at_winter_demand() {
+        let rows = average_vs_marginal_sweep();
+        // At and beyond typical winter demand (≥50 GW) the marginal unit is
+        // fossil.
+        for (gw, avg, marg) in rows {
+            if gw >= 50.0 {
+                assert!(marg > avg, "at {gw} GW: marginal {marg} ≤ average {avg}");
+            }
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! E14 — application-level energy savings with a Countdown-like runtime
+//! (§3.4's "utilizing application libraries such as Cesarini et al.").
+//!
+//! A synthetic iterative MPI application runs with and without the DVFS
+//! governor; the sweep over communication fractions shows where the
+//! runtime pays off and translates the saving into carbon at a region's
+//! grid intensity.
+
+use serde::{Deserialize, Serialize};
+use sustain_grid::region::{Region, RegionProfile};
+use sustain_sim_core::units::Carbon;
+use sustain_workload::phases::{
+    run_phases, synth_phases, CountdownGovernor, CpuFreqModel,
+};
+
+/// One row of the E14 sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CountdownRow {
+    /// Communication fraction of the application.
+    pub communication_fraction: f64,
+    /// Baseline energy, kWh (per node-run).
+    pub baseline_kwh: f64,
+    /// Energy with the governor, kWh.
+    pub governed_kwh: f64,
+    /// Relative energy saving.
+    pub saving_fraction: f64,
+    /// Relative wall-time slowdown (0 = performance-neutral).
+    pub slowdown_fraction: f64,
+    /// Carbon saved per run at the region's mean intensity.
+    pub carbon_saved: Carbon,
+}
+
+/// Runs E14: sweeps the communication fraction of a 2 000-iteration app.
+pub fn countdown_savings(region: Region, seed: u64) -> Vec<CountdownRow> {
+    let mean_ci = RegionProfile::january_2023(region).mean_g_per_kwh;
+    let cpu = CpuFreqModel::default();
+    let on = CountdownGovernor::default();
+    let off = CountdownGovernor {
+        enabled: false,
+        ..CountdownGovernor::default()
+    };
+    [0.05, 0.1, 0.2, 0.3, 0.4, 0.5]
+        .iter()
+        .map(|&comm| {
+            let phases = synth_phases(2_000, 12.0, comm, seed);
+            let governed = run_phases(&phases, &cpu, &on);
+            let baseline = run_phases(&phases, &cpu, &off);
+            let saving = 1.0 - governed.energy.joules() / baseline.energy.joules();
+            let slowdown =
+                governed.wall_time.as_secs() / baseline.wall_time.as_secs() - 1.0;
+            let saved_kwh = baseline.energy.kwh() - governed.energy.kwh();
+            CountdownRow {
+                communication_fraction: comm,
+                baseline_kwh: baseline.energy.kwh(),
+                governed_kwh: governed.energy.kwh(),
+                saving_fraction: saving,
+                slowdown_fraction: slowdown,
+                carbon_saved: Carbon::from_grams(saved_kwh * mean_ci),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Countdown promise: performance-neutral energy saving, growing
+    /// with the communication fraction.
+    #[test]
+    fn e14_savings_monotone_and_neutral() {
+        let rows = countdown_savings(Region::Germany, 7);
+        assert_eq!(rows.len(), 6);
+        let mut last = -1.0;
+        for r in &rows {
+            assert!(
+                r.slowdown_fraction.abs() < 1e-9,
+                "governor must be performance-neutral"
+            );
+            assert!(r.saving_fraction > last);
+            assert!(r.governed_kwh < r.baseline_kwh);
+            assert!(r.carbon_saved.grams() > 0.0);
+            last = r.saving_fraction;
+        }
+        // A communication-heavy app saves a decent share.
+        assert!(rows.last().unwrap().saving_fraction > 0.2);
+    }
+
+    /// Carbon saving scales with the region's intensity.
+    #[test]
+    fn e14_dirtier_region_saves_more_carbon() {
+        let de = countdown_savings(Region::Germany, 7);
+        let no = countdown_savings(Region::Norway, 7);
+        for (a, b) in de.iter().zip(&no) {
+            assert!((a.saving_fraction - b.saving_fraction).abs() < 1e-12);
+            assert!(a.carbon_saved > b.carbon_saved);
+        }
+    }
+}

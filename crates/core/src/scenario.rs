@@ -1,0 +1,199 @@
+//! End-to-end scenario runner: region → carbon trace → power budget →
+//! scheduled workload → carbon accounting.
+//!
+//! A [`Scenario`] wires the whole stack together the way the paper's §3
+//! envisions: the grid substrate supplies intensity, the PowerStack's
+//! scaling policy turns it into a system power budget, the RJMS schedules
+//! a workload under that budget, and the telemetry layer attributes
+//! energy and carbon back to jobs, users, and the facility.
+
+use serde::{Deserialize, Serialize};
+use sustain_grid::green::GreenDetector;
+use sustain_grid::region::RegionProfile;
+use sustain_grid::synth::generate_calibrated;
+use sustain_power::carbon_scaler::ScalingPolicy;
+use sustain_power::pue::PueModel;
+use sustain_scheduler::cluster::Cluster;
+use sustain_scheduler::metrics::SimOutcome;
+use sustain_scheduler::sim::{simulate, CheckpointCfg, Policy, SimConfig};
+use sustain_sim_core::time::SimDuration;
+use sustain_sim_core::units::Carbon;
+use sustain_telemetry::accounting::{profile_job, site_account, JobCarbonProfile, SiteAccount};
+use sustain_workload::synth::{generate, WorkloadConfig};
+
+/// A complete simulation scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario name (used in reports).
+    pub name: String,
+    /// The cluster.
+    pub cluster: Cluster,
+    /// Regional grid profile.
+    pub region: RegionProfile,
+    /// Simulated days of grid data (the workload spans the same window).
+    pub days: usize,
+    /// Workload generator configuration.
+    pub workload: WorkloadConfig,
+    /// Scheduling policy.
+    pub policy: Policy,
+    /// Multi-queue admission/priority configuration (§3.4); `None` = one
+    /// FIFO queue.
+    pub queues: Option<sustain_scheduler::queue::QueueSet>,
+    /// Carbon-aware power-budget scaling (None = unlimited power).
+    pub scaling: Option<ScalingPolicy>,
+    /// Carbon-aware checkpointing.
+    pub checkpoint: Option<CheckpointCfg>,
+    /// Enable malleable reshaping.
+    pub malleable: bool,
+    /// Facility overhead model.
+    pub pue: PueModel,
+    /// Master seed (grid and workload derive sub-seeds).
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// A baseline scenario: EASY backfilling, no power coupling, in the
+    /// given region.
+    pub fn baseline(name: impl Into<String>, region: RegionProfile, days: usize) -> Scenario {
+        Scenario {
+            name: name.into(),
+            cluster: Cluster::new(256),
+            region,
+            days,
+            workload: WorkloadConfig::default(),
+            policy: Policy::EasyBackfill,
+            queues: None,
+            scaling: None,
+            checkpoint: None,
+            malleable: false,
+            pue: PueModel::efficient_hpc(),
+            seed: 2023,
+        }
+    }
+}
+
+/// Everything a scenario run produces.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioResult {
+    /// Scenario name.
+    pub name: String,
+    /// Scheduling outcome (records, waits, utilization, energy, carbon).
+    pub outcome: SimOutcome,
+    /// Per-job carbon profiles.
+    pub profiles: Vec<JobCarbonProfile>,
+    /// Site-level account.
+    pub site: SiteAccount,
+    /// IT carbon scaled by the facility PUE.
+    pub facility_carbon: Carbon,
+    /// Mean grid intensity over the window, g/kWh.
+    pub grid_mean_ci: f64,
+}
+
+/// Runs a scenario.
+pub fn run(scenario: &Scenario) -> ScenarioResult {
+    let trace = generate_calibrated(&scenario.region, scenario.days, scenario.seed);
+    let horizon = SimDuration::from_days(scenario.days as f64);
+    let jobs = generate(&scenario.workload, horizon, scenario.seed.wrapping_add(1));
+
+    let power_budget = scenario.scaling.as_ref().map(|p| p.budget_series(&trace));
+    let cfg = SimConfig {
+        cluster: scenario.cluster.clone(),
+        policy: scenario.policy.clone(),
+        queues: scenario.queues.clone(),
+        carbon_trace: Some(trace.clone()),
+        power_budget,
+        checkpoint: scenario.checkpoint.clone(),
+        fair_share: None,
+        failures: None,
+        enable_malleability: scenario.malleable,
+        reshape_cost: SimDuration::from_secs(30.0),
+        tick: SimDuration::from_hours(1.0),
+        max_steps: 50_000_000,
+    };
+    let outcome = simulate(&jobs, &cfg);
+
+    let detector = GreenDetector::default();
+    let profiles: Vec<JobCarbonProfile> = outcome
+        .records
+        .iter()
+        .map(|r| profile_job(r, &trace, &detector))
+        .collect();
+    let site = site_account(&profiles);
+
+    // Facility carbon: IT carbon (jobs + idle) multiplied by the effective
+    // PUE at the run's mean IT power.
+    let total_it_energy = outcome.job_energy + outcome.idle_energy;
+    let mean_it_power = if outcome.makespan.as_secs() > 0.0 {
+        total_it_energy.over_duration(outcome.makespan - sustain_sim_core::time::SimTime::ZERO)
+    } else {
+        sustain_sim_core::units::Power::ZERO
+    };
+    let pue = if mean_it_power.watts() > 0.0 {
+        scenario.pue.pue_at(mean_it_power)
+    } else {
+        1.0
+    };
+    let facility_carbon = outcome.carbon * pue;
+    let grid_mean_ci = trace.series().stats().mean();
+
+    ScenarioResult {
+        name: scenario.name.clone(),
+        outcome,
+        profiles,
+        site,
+        facility_carbon,
+        grid_mean_ci,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sustain_grid::region::Region;
+
+    fn small_scenario() -> Scenario {
+        let mut s = Scenario::baseline(
+            "test",
+            RegionProfile::january_2023(Region::Germany),
+            7,
+        );
+        s.cluster = Cluster::new(600);
+        s
+    }
+
+    #[test]
+    fn baseline_scenario_completes() {
+        let r = run(&small_scenario());
+        assert_eq!(r.outcome.unfinished, 0);
+        assert!(!r.profiles.is_empty());
+        assert_eq!(r.profiles.len(), r.outcome.records.len());
+        assert!(r.site.energy.kwh() > 0.0);
+        assert!(r.facility_carbon > r.outcome.carbon);
+        assert!(r.grid_mean_ci > 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = run(&small_scenario());
+        let b = run(&small_scenario());
+        assert_eq!(a.outcome.makespan, b.outcome.makespan);
+        assert_eq!(a.site.carbon.grams(), b.site.carbon.grams());
+    }
+
+    #[test]
+    fn carbon_scales_with_grid_intensity() {
+        let clean = {
+            let mut s = small_scenario();
+            s.region = RegionProfile::january_2023(Region::Norway);
+            run(&s)
+        };
+        let dirty = {
+            let mut s = small_scenario();
+            s.region = RegionProfile::january_2023(Region::Poland);
+            run(&s)
+        };
+        // Same workload, same energy — carbon tracks the grid.
+        assert!((clean.site.energy.kwh() - dirty.site.energy.kwh()).abs() < 1.0);
+        assert!(dirty.site.carbon.grams() > 4.0 * clean.site.carbon.grams());
+    }
+}

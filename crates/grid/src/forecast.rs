@@ -1,0 +1,360 @@
+//! Carbon-intensity forecasting (§3.1, §3.3).
+//!
+//! The paper: *"carbon intensity prediction can support the job scheduler"*
+//! and carbon-aware backfilling needs *"forecasting techniques that
+//! leverage historical carbon intensity data"*. This module provides the
+//! standard lightweight forecasters used in the carbon-aware-computing
+//! literature: persistence, seasonal-naïve (24 h), moving average, EWMA,
+//! and additive Holt-Winters with a daily season.
+
+use sustain_sim_core::series::TimeSeries;
+use sustain_sim_core::stats;
+
+/// A forecaster fitted on an hourly history that can predict the next
+/// `horizon` hourly values.
+pub trait Forecaster {
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Fits internal state on an hourly history.
+    fn fit(&mut self, history: &[f64]);
+
+    /// Predicts `horizon` future hourly values. Must be called after
+    /// [`Forecaster::fit`].
+    fn predict(&self, horizon: usize) -> Vec<f64>;
+}
+
+/// Repeats the last observed value.
+#[derive(Debug, Default, Clone)]
+pub struct Persistence {
+    last: f64,
+}
+
+impl Forecaster for Persistence {
+    fn name(&self) -> &'static str {
+        "persistence"
+    }
+    fn fit(&mut self, history: &[f64]) {
+        assert!(!history.is_empty(), "empty history");
+        self.last = *history.last().unwrap();
+    }
+    fn predict(&self, horizon: usize) -> Vec<f64> {
+        vec![self.last; horizon]
+    }
+}
+
+/// Repeats the last full seasonal cycle (default 24 h).
+#[derive(Debug, Clone)]
+pub struct SeasonalNaive {
+    period: usize,
+    last_cycle: Vec<f64>,
+}
+
+impl SeasonalNaive {
+    /// Creates a seasonal-naïve forecaster with the given period in hours.
+    pub fn new(period: usize) -> Self {
+        assert!(period > 0);
+        SeasonalNaive {
+            period,
+            last_cycle: Vec::new(),
+        }
+    }
+
+    /// Daily seasonality (24 h).
+    pub fn daily() -> Self {
+        Self::new(24)
+    }
+}
+
+impl Forecaster for SeasonalNaive {
+    fn name(&self) -> &'static str {
+        "seasonal-naive"
+    }
+    fn fit(&mut self, history: &[f64]) {
+        assert!(
+            history.len() >= self.period,
+            "history shorter than one period"
+        );
+        self.last_cycle = history[history.len() - self.period..].to_vec();
+    }
+    fn predict(&self, horizon: usize) -> Vec<f64> {
+        (0..horizon)
+            .map(|h| self.last_cycle[h % self.period])
+            .collect()
+    }
+}
+
+/// Flat forecast at the mean of the last `window` hours.
+#[derive(Debug, Clone)]
+pub struct MovingAverage {
+    window: usize,
+    mean: f64,
+}
+
+impl MovingAverage {
+    /// Creates a moving-average forecaster over `window` hours.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0);
+        MovingAverage { window, mean: 0.0 }
+    }
+}
+
+impl Forecaster for MovingAverage {
+    fn name(&self) -> &'static str {
+        "moving-average"
+    }
+    fn fit(&mut self, history: &[f64]) {
+        assert!(!history.is_empty(), "empty history");
+        let n = history.len().min(self.window);
+        let tail = &history[history.len() - n..];
+        self.mean = tail.iter().sum::<f64>() / n as f64;
+    }
+    fn predict(&self, horizon: usize) -> Vec<f64> {
+        vec![self.mean; horizon]
+    }
+}
+
+/// Exponentially weighted moving average (flat forecast at the EWMA level).
+#[derive(Debug, Clone)]
+pub struct Ewma {
+    alpha: f64,
+    level: f64,
+}
+
+impl Ewma {
+    /// Creates an EWMA forecaster with smoothing factor `alpha` ∈ (0, 1].
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha out of range");
+        Ewma { alpha, level: 0.0 }
+    }
+}
+
+impl Forecaster for Ewma {
+    fn name(&self) -> &'static str {
+        "ewma"
+    }
+    fn fit(&mut self, history: &[f64]) {
+        assert!(!history.is_empty(), "empty history");
+        let mut level = history[0];
+        for &x in &history[1..] {
+            level = self.alpha * x + (1.0 - self.alpha) * level;
+        }
+        self.level = level;
+    }
+    fn predict(&self, horizon: usize) -> Vec<f64> {
+        vec![self.level; horizon]
+    }
+}
+
+/// Additive Holt-Winters (level + trend + daily season).
+#[derive(Debug, Clone)]
+pub struct HoltWinters {
+    alpha: f64,
+    beta: f64,
+    gamma: f64,
+    period: usize,
+    level: f64,
+    trend: f64,
+    season: Vec<f64>,
+}
+
+impl HoltWinters {
+    /// Creates an additive Holt-Winters forecaster with the given smoothing
+    /// parameters and season length (hours).
+    pub fn new(alpha: f64, beta: f64, gamma: f64, period: usize) -> Self {
+        assert!(period > 1, "period must exceed 1");
+        for (name, v) in [("alpha", alpha), ("beta", beta), ("gamma", gamma)] {
+            assert!((0.0..=1.0).contains(&v), "{name} out of [0,1]");
+        }
+        HoltWinters {
+            alpha,
+            beta,
+            gamma,
+            period,
+            level: 0.0,
+            trend: 0.0,
+            season: Vec::new(),
+        }
+    }
+
+    /// Sensible defaults for hourly carbon-intensity data with daily season.
+    pub fn daily_default() -> Self {
+        Self::new(0.25, 0.02, 0.25, 24)
+    }
+}
+
+impl Forecaster for HoltWinters {
+    fn name(&self) -> &'static str {
+        "holt-winters"
+    }
+
+    fn fit(&mut self, history: &[f64]) {
+        let m = self.period;
+        assert!(
+            history.len() >= 2 * m,
+            "holt-winters needs at least two seasons of history"
+        );
+        // Initialize: level = mean of first season; trend = average change
+        // between the first two seasons; season = first-season deviations.
+        let first_mean = history[..m].iter().sum::<f64>() / m as f64;
+        let second_mean = history[m..2 * m].iter().sum::<f64>() / m as f64;
+        self.level = first_mean;
+        self.trend = (second_mean - first_mean) / m as f64;
+        self.season = history[..m].iter().map(|&x| x - first_mean).collect();
+
+        for (i, &x) in history.iter().enumerate().skip(m) {
+            let s_idx = i % m;
+            let last_level = self.level;
+            let seasonal = self.season[s_idx];
+            self.level =
+                self.alpha * (x - seasonal) + (1.0 - self.alpha) * (self.level + self.trend);
+            self.trend = self.beta * (self.level - last_level) + (1.0 - self.beta) * self.trend;
+            self.season[s_idx] =
+                self.gamma * (x - self.level) + (1.0 - self.gamma) * seasonal;
+        }
+    }
+
+    fn predict(&self, horizon: usize) -> Vec<f64> {
+        (1..=horizon)
+            .map(|h| {
+                let s = self.season[(h - 1) % self.period];
+                self.level + self.trend * h as f64 + s
+            })
+            .collect()
+    }
+}
+
+/// Result of scoring a forecaster against a held-out window.
+#[derive(Debug, Clone)]
+pub struct ForecastScore {
+    /// Forecaster name.
+    pub name: &'static str,
+    /// Mean absolute percentage error over the window, percent.
+    pub mape: f64,
+    /// Root-mean-square error, gCO₂/kWh.
+    pub rmse: f64,
+}
+
+/// Fits `forecaster` on `series[..split]` and scores it on
+/// `series[split..split+horizon]`.
+pub fn backtest(
+    forecaster: &mut dyn Forecaster,
+    series: &TimeSeries,
+    split: usize,
+    horizon: usize,
+) -> ForecastScore {
+    let values = series.values();
+    assert!(
+        split + horizon <= values.len(),
+        "backtest window out of range"
+    );
+    forecaster.fit(&values[..split]);
+    let pred = forecaster.predict(horizon);
+    let actual = &values[split..split + horizon];
+    ForecastScore {
+        name: forecaster.name(),
+        mape: stats::mape(actual, &pred),
+        rmse: stats::rmse(actual, &pred),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sustain_sim_core::time::{SimDuration, SimTime};
+
+    fn sine_series(hours: usize) -> TimeSeries {
+        TimeSeries::from_fn(
+            SimTime::ZERO,
+            SimDuration::from_hours(1.0),
+            hours,
+            |t| 300.0 + 50.0 * (t.hour_of_day() / 24.0 * std::f64::consts::TAU).sin(),
+        )
+    }
+
+    #[test]
+    fn persistence_repeats_last() {
+        let mut f = Persistence::default();
+        f.fit(&[1.0, 2.0, 3.0]);
+        assert_eq!(f.predict(3), vec![3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn seasonal_naive_repeats_cycle() {
+        let mut f = SeasonalNaive::new(3);
+        f.fit(&[9.0, 9.0, 9.0, 1.0, 2.0, 3.0]);
+        assert_eq!(f.predict(5), vec![1.0, 2.0, 3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn seasonal_naive_perfect_on_periodic_signal() {
+        let s = sine_series(96);
+        let mut f = SeasonalNaive::daily();
+        let score = backtest(&mut f, &s, 72, 24);
+        assert!(score.rmse < 1e-9, "rmse {}", score.rmse);
+    }
+
+    #[test]
+    fn moving_average_uses_window() {
+        let mut f = MovingAverage::new(2);
+        f.fit(&[10.0, 20.0, 30.0]);
+        assert_eq!(f.predict(1), vec![25.0]);
+        // Window longer than history: use all.
+        let mut g = MovingAverage::new(10);
+        g.fit(&[10.0, 20.0]);
+        assert_eq!(g.predict(1), vec![15.0]);
+    }
+
+    #[test]
+    fn ewma_converges_to_constant() {
+        let mut f = Ewma::new(0.3);
+        f.fit(&vec![42.0; 100]);
+        assert!((f.predict(1)[0] - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn holt_winters_tracks_trend_and_season() {
+        // Linear trend + daily season.
+        let s = TimeSeries::from_fn(
+            SimTime::ZERO,
+            SimDuration::from_hours(1.0),
+            24 * 10,
+            |t| {
+                200.0
+                    + 0.5 * t.as_hours()
+                    + 30.0 * (t.hour_of_day() / 24.0 * std::f64::consts::TAU).sin()
+            },
+        );
+        let mut f = HoltWinters::daily_default();
+        let score = backtest(&mut f, &s, 24 * 9, 24);
+        assert!(score.mape < 3.0, "mape {}", score.mape);
+    }
+
+    #[test]
+    fn holt_winters_beats_persistence_on_seasonal_data() {
+        let s = sine_series(24 * 10);
+        let mut hw = HoltWinters::daily_default();
+        let mut p = Persistence::default();
+        let hw_score = backtest(&mut hw, &s, 24 * 9, 24);
+        let p_score = backtest(&mut p, &s, 24 * 9, 24);
+        assert!(
+            hw_score.rmse < p_score.rmse,
+            "hw {} vs persistence {}",
+            hw_score.rmse,
+            p_score.rmse
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "two seasons")]
+    fn holt_winters_needs_history() {
+        HoltWinters::daily_default().fit(&[1.0; 30]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn backtest_bounds_checked() {
+        let s = sine_series(48);
+        backtest(&mut Persistence::default(), &s, 40, 20);
+    }
+}

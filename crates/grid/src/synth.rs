@@ -1,0 +1,228 @@
+//! Synthetic hourly carbon-intensity generation.
+//!
+//! Substitution note (see `DESIGN.md`): the paper built Fig. 2 from a grid
+//! emissions data provider; we cannot redistribute that data, so this
+//! module synthesizes traces with the same statistical structure — a
+//! diurnal demand shape with an optional midday solar dip, an AR(1)
+//! synoptic (weather) component with a multi-day correlation time, white
+//! noise, and a weekend effect. The January-2023 regional presets in
+//! [`crate::region`] pin the moments the paper reports.
+
+use crate::region::RegionProfile;
+use crate::trace::CarbonTrace;
+use sustain_sim_core::rng::RngStream;
+use sustain_sim_core::series::TimeSeries;
+use sustain_sim_core::time::{SimDuration, SimTime};
+
+/// Minimum physical intensity; traces are clamped here to avoid negative
+/// excursions in very clean or very volatile configurations.
+pub const MIN_CI_G_PER_KWH: f64 = 5.0;
+
+/// Normalized diurnal shape at `hour` ∈ [0, 24): two demand peaks (09h,
+/// 19h) and a night trough. Zero-mean over the day by construction
+/// (approximately), unit peak amplitude.
+fn diurnal_shape(hour: f64) -> f64 {
+    use std::f64::consts::PI;
+    // Sum of two harmonics approximating the double demand peak.
+    let h = hour / 24.0 * 2.0 * PI;
+    0.55 * (h - 2.5).sin() + 0.45 * (2.0 * h - 1.2).sin()
+}
+
+/// Midday solar dip at `hour`: a negative bump centred on 13h, ~4 h wide.
+fn solar_shape(hour: f64) -> f64 {
+    let d = (hour - 13.0) / 3.0;
+    -(-0.5 * d * d).exp()
+}
+
+/// Generates an hourly carbon-intensity trace of `days` days for a region
+/// profile. Deterministic in `(profile, days, seed)`.
+pub fn generate_hourly(profile: &RegionProfile, days: usize, seed: u64) -> CarbonTrace {
+    assert!(days > 0, "trace must cover at least one day");
+    let hours = days * 24;
+    let root = RngStream::new(seed);
+    let mut syn_rng = root.derive("synoptic");
+    let mut noise_rng = root.derive("noise");
+
+    // AR(1) synoptic component with the requested stationary std and
+    // correlation time: x_{t+1} = ρ x_t + ε, ε ~ N(0, σ²(1-ρ²)).
+    let rho = (-1.0 / profile.synoptic_corr_hours.max(1.0)).exp();
+    let innov_std = profile.synoptic_std * (1.0 - rho * rho).sqrt();
+    // Start from the stationary distribution so the first days are not
+    // biased toward zero.
+    let mut syn = if profile.synoptic_std > 0.0 {
+        syn_rng.normal(0.0, profile.synoptic_std)
+    } else {
+        0.0
+    };
+
+    let mut values = Vec::with_capacity(hours);
+    for h in 0..hours {
+        let t = SimTime::from_hours(h as f64);
+        let hour = t.hour_of_day();
+        let mut ci = profile.mean_g_per_kwh;
+        ci += profile.mean_g_per_kwh * profile.diurnal_amplitude * diurnal_shape(hour);
+        ci += profile.mean_g_per_kwh * profile.solar_dip * solar_shape(hour);
+        ci += syn;
+        if profile.noise_std > 0.0 {
+            ci += noise_rng.normal(0.0, profile.noise_std);
+        }
+        if t.is_weekend() {
+            ci *= 1.0 - profile.weekend_drop;
+        }
+        values.push(ci.max(MIN_CI_G_PER_KWH));
+        if profile.synoptic_std > 0.0 {
+            syn = rho * syn + syn_rng.normal(0.0, innov_std);
+        }
+    }
+
+    CarbonTrace::new(
+        profile.name.clone(),
+        TimeSeries::new(SimTime::ZERO, SimDuration::from_hours(1.0), values),
+    )
+}
+
+/// Generates a trace and then affinely re-calibrates it so its monthly mean
+/// and daily-mean standard deviation match the profile exactly. This is how
+/// the Fig. 2 anchors (Finland σ = 47.21) are pinned despite stochastic
+/// generation.
+///
+/// ```
+/// use sustain_grid::region::{Region, RegionProfile};
+/// use sustain_grid::synth::generate_calibrated;
+///
+/// let profile = RegionProfile::january_2023(Region::Finland);
+/// let trace = generate_calibrated(&profile, 31, 2023);
+/// assert_eq!(trace.series().len(), 31 * 24);
+/// // The paper's Finland anchor: daily-mean σ = 47.21 gCO₂/kWh.
+/// assert!((trace.daily_stats().std_dev() - 47.21).abs() < 0.01);
+/// ```
+pub fn generate_calibrated(profile: &RegionProfile, days: usize, seed: u64) -> CarbonTrace {
+    let trace = generate_hourly(profile, days, seed);
+    if profile.synoptic_std == 0.0 {
+        return trace;
+    }
+    trace.with_moments(profile.mean_g_per_kwh, profile.synoptic_std)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::{Region, RegionProfile};
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let p = RegionProfile::january_2023(Region::Germany);
+        let a = generate_hourly(&p, 31, 7);
+        let b = generate_hourly(&p, 31, 7);
+        assert_eq!(a.series().values(), b.series().values());
+        let c = generate_hourly(&p, 31, 8);
+        assert_ne!(a.series().values(), c.series().values());
+    }
+
+    #[test]
+    fn trace_has_expected_length_and_bounds() {
+        let p = RegionProfile::january_2023(Region::France);
+        let t = generate_hourly(&p, 31, 1);
+        assert_eq!(t.series().len(), 31 * 24);
+        for &v in t.series().values() {
+            assert!(v >= MIN_CI_G_PER_KWH);
+        }
+    }
+
+    #[test]
+    fn mean_is_near_profile_mean() {
+        let p = RegionProfile::january_2023(Region::Finland);
+        let t = generate_hourly(&p, 31, 42);
+        let mean = t.series().stats().mean();
+        assert!(
+            (mean - p.mean_g_per_kwh).abs() < 0.15 * p.mean_g_per_kwh,
+            "mean {mean} vs {}",
+            p.mean_g_per_kwh
+        );
+    }
+
+    #[test]
+    fn constant_profile_yields_flat_trace() {
+        let p = RegionProfile::lrz_hydropower();
+        let t = generate_hourly(&p, 10, 3);
+        let s = t.series().stats();
+        assert_eq!(s.min(), 20.0);
+        assert_eq!(s.max(), 20.0);
+    }
+
+    #[test]
+    fn diurnal_pattern_visible_in_hourly_but_not_daily() {
+        let mut p = RegionProfile::january_2023(Region::GreatBritain);
+        p.synoptic_std = 0.0;
+        p.noise_std = 0.0;
+        let t = generate_hourly(&p, 14, 5);
+        // Hourly variance exists…
+        assert!(t.series().stats().std_dev() > 10.0);
+        // …but daily means on weekdays are nearly constant.
+        let daily = t.daily_means();
+        let weekday_vals: Vec<f64> = daily
+            .values()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 7 < 5)
+            .map(|(_, &v)| v)
+            .collect();
+        let mut rs = sustain_sim_core::stats::RunningStats::new();
+        for v in weekday_vals {
+            rs.push(v);
+        }
+        assert!(rs.std_dev() < 3.0, "daily weekday std {}", rs.std_dev());
+    }
+
+    #[test]
+    fn weekend_effect_lowers_weekend_days() {
+        let mut p = RegionProfile::january_2023(Region::Germany);
+        p.synoptic_std = 0.0;
+        p.noise_std = 0.0;
+        p.weekend_drop = 0.2;
+        let t = generate_hourly(&p, 14, 5);
+        let daily = t.daily_means();
+        let v = daily.values();
+        // Day 5, 6 are the weekend under the Monday-epoch convention.
+        assert!(v[5] < v[0] * 0.9);
+        assert!(v[6] < v[1] * 0.9);
+        assert!(v[12] < v[8] * 0.9);
+    }
+
+    #[test]
+    fn solar_dip_depresses_midday() {
+        let mut p = RegionProfile::january_2023(Region::Spain);
+        p.synoptic_std = 0.0;
+        p.noise_std = 0.0;
+        p.diurnal_amplitude = 0.0;
+        p.weekend_drop = 0.0;
+        p.solar_dip = 0.2;
+        let t = generate_hourly(&p, 1, 5);
+        let v = t.series().values();
+        assert!(v[13] < v[3], "midday {} vs night {}", v[13], v[3]);
+    }
+
+    /// Paper anchor: calibrated Finland trace reproduces σ = 47.21 exactly
+    /// and the 2.1× France ratio.
+    #[test]
+    fn calibrated_finland_hits_anchors() {
+        let fi = generate_calibrated(
+            &RegionProfile::january_2023(Region::Finland),
+            31,
+            2023,
+        );
+        let fr = generate_calibrated(
+            &RegionProfile::january_2023(Region::France),
+            31,
+            2023,
+        );
+        let fi_daily = fi.daily_means();
+        let mut rs = sustain_sim_core::stats::RunningStats::new();
+        for &v in fi_daily.values() {
+            rs.push(v);
+        }
+        assert!((rs.std_dev() - 47.21).abs() < 0.01, "std {}", rs.std_dev());
+        let ratio = fi.series().stats().mean() / fr.series().stats().mean();
+        assert!((ratio - 2.1).abs() < 0.01, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,319 @@
+//! Hierarchical power budgeting (§3.1).
+//!
+//! The PowerStack divides the site's total power budget down a hierarchy:
+//! site → system → jobs → nodes → components. At each level a
+//! [`DivisionPolicy`] splits a parent budget across children, respecting
+//! per-child minimum (idle/safety) floors and demand ceilings. The hard
+//! invariants, enforced here and property-tested: the children never
+//! receive more than the parent budget, never less than their floors, and
+//! never more than their demands.
+
+use serde::{Deserialize, Serialize};
+use sustain_sim_core::units::Power;
+
+/// One child's request at a division point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BudgetRequest {
+    /// Child name (job id, node id, …).
+    pub name: String,
+    /// Floor: the child cannot operate below this (idle power, safety).
+    pub min: Power,
+    /// Ceiling: the child cannot use more than this.
+    pub demand: Power,
+    /// Priority for [`DivisionPolicy::PriorityOrder`] (higher wins).
+    pub priority: u32,
+}
+
+impl BudgetRequest {
+    /// Creates a request.
+    pub fn new(name: impl Into<String>, min: Power, demand: Power) -> BudgetRequest {
+        assert!(min <= demand, "min exceeds demand");
+        BudgetRequest {
+            name: name.into(),
+            min,
+            demand,
+            priority: 0,
+        }
+    }
+
+    /// Sets the priority.
+    pub fn priority(mut self, p: u32) -> Self {
+        self.priority = p;
+        self
+    }
+}
+
+/// How a parent budget is divided across children.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DivisionPolicy {
+    /// Waterfilling toward equal shares, capped at each child's demand.
+    EqualShare,
+    /// Shares proportional to demand above the floors.
+    DemandProportional,
+    /// Floors for everyone, then top-ups in priority order.
+    PriorityOrder,
+}
+
+/// Divides `total` across `requests` under `policy`.
+///
+/// Returns per-child assignments (same order as `requests`).
+///
+/// ```
+/// use sustain_power::budget::{divide, BudgetRequest, DivisionPolicy};
+/// use sustain_sim_core::units::Power;
+///
+/// let requests = vec![
+///     BudgetRequest::new("job-a", Power::from_kw(1.0), Power::from_kw(5.0)),
+///     BudgetRequest::new("job-b", Power::from_kw(1.0), Power::from_kw(3.0)),
+/// ];
+/// let shares = divide(Power::from_kw(6.0), &requests, DivisionPolicy::EqualShare);
+/// let total: Power = shares.iter().copied().sum();
+/// assert!(total <= Power::from_kw(6.0));
+/// ```
+///
+/// # Panics
+/// Panics if the floors alone exceed `total` — the caller (scheduler)
+/// must shed load before dividing.
+pub fn divide(total: Power, requests: &[BudgetRequest], policy: DivisionPolicy) -> Vec<Power> {
+    if requests.is_empty() {
+        return Vec::new();
+    }
+    let floor_sum: Power = requests.iter().map(|r| r.min).sum();
+    assert!(
+        floor_sum <= total * 1.000001,
+        "floors ({floor_sum}) exceed budget ({total}); shed load first"
+    );
+    let mut assigned: Vec<Power> = requests.iter().map(|r| r.min).collect();
+    let mut remaining = total - floor_sum.min(total);
+
+    match policy {
+        DivisionPolicy::EqualShare => {
+            // Waterfilling: repeatedly split the remainder equally among
+            // children that still have headroom.
+            loop {
+                let open: Vec<usize> = (0..requests.len())
+                    .filter(|&i| assigned[i] < requests[i].demand)
+                    .collect();
+                if open.is_empty() || remaining.watts() < 1e-9 {
+                    break;
+                }
+                let share = remaining / open.len() as f64;
+                let mut consumed = Power::ZERO;
+                for &i in &open {
+                    let headroom = requests[i].demand - assigned[i];
+                    let take = share.min(headroom);
+                    assigned[i] += take;
+                    consumed += take;
+                }
+                remaining -= consumed;
+                if consumed.watts() < 1e-9 {
+                    break;
+                }
+            }
+        }
+        DivisionPolicy::DemandProportional => {
+            let weight_sum: f64 = requests
+                .iter()
+                .map(|r| (r.demand - r.min).watts())
+                .sum();
+            if weight_sum > 0.0 {
+                // One proportional pass, then waterfill any residue created
+                // by demand caps.
+                let mut residue = Power::ZERO;
+                for (i, r) in requests.iter().enumerate() {
+                    let w = (r.demand - r.min).watts() / weight_sum;
+                    let grant = (remaining * w).min(r.demand - r.min);
+                    assigned[i] += grant;
+                    residue += remaining * w - grant;
+                }
+                remaining = residue;
+                if remaining.watts() > 1e-9 {
+                    let extra = divide_residue(&mut assigned, requests, remaining);
+                    let _ = extra;
+                }
+            }
+        }
+        DivisionPolicy::PriorityOrder => {
+            let mut order: Vec<usize> = (0..requests.len()).collect();
+            order.sort_by(|&a, &b| {
+                requests[b]
+                    .priority
+                    .cmp(&requests[a].priority)
+                    .then(a.cmp(&b))
+            });
+            for &i in &order {
+                let headroom = requests[i].demand - assigned[i];
+                let take = remaining.min(headroom);
+                assigned[i] += take;
+                remaining -= take;
+                if remaining.watts() <= 0.0 {
+                    break;
+                }
+            }
+        }
+    }
+    assigned
+}
+
+/// Waterfills `remaining` into children with headroom (helper for the
+/// proportional policy's cap residue).
+fn divide_residue(
+    assigned: &mut [Power],
+    requests: &[BudgetRequest],
+    mut remaining: Power,
+) -> Power {
+    loop {
+        let open: Vec<usize> = (0..requests.len())
+            .filter(|&i| assigned[i] < requests[i].demand)
+            .collect();
+        if open.is_empty() || remaining.watts() < 1e-9 {
+            return remaining;
+        }
+        let share = remaining / open.len() as f64;
+        let mut consumed = Power::ZERO;
+        for &i in &open {
+            let take = share.min(requests[i].demand - assigned[i]);
+            assigned[i] += take;
+            consumed += take;
+        }
+        remaining -= consumed;
+        if consumed.watts() < 1e-9 {
+            return remaining;
+        }
+    }
+}
+
+/// Checks the division invariants; used by tests and debug assertions in
+/// the scheduler.
+pub fn check_invariants(total: Power, requests: &[BudgetRequest], assigned: &[Power]) {
+    assert_eq!(requests.len(), assigned.len());
+    let sum: Power = assigned.iter().copied().sum();
+    assert!(
+        sum <= total * 1.000001,
+        "assigned {sum} exceeds budget {total}"
+    );
+    for (r, &a) in requests.iter().zip(assigned) {
+        assert!(a >= r.min * 0.999999, "{}: below floor", r.name);
+        assert!(a <= r.demand * 1.000001, "{}: above demand", r.name);
+    }
+    // Work-conserving: either the budget or every demand is exhausted.
+    let demand_sum: Power = requests.iter().map(|r| r.demand).sum();
+    let target = total.min(demand_sum);
+    assert!(
+        (sum.watts() - target.watts()).abs() < 1.0,
+        "not work-conserving: {sum} vs {target}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(x: f64) -> Power {
+        Power::from_watts(x)
+    }
+
+    fn reqs() -> Vec<BudgetRequest> {
+        vec![
+            BudgetRequest::new("a", w(100.0), w(500.0)),
+            BudgetRequest::new("b", w(100.0), w(300.0)),
+            BudgetRequest::new("c", w(100.0), w(1000.0)),
+        ]
+    }
+
+    #[test]
+    fn equal_share_waterfills() {
+        let r = reqs();
+        let a = divide(w(900.0), &r, DivisionPolicy::EqualShare);
+        check_invariants(w(900.0), &r, &a);
+        // 600 above floors; equal 200 each → all below demand: 300/300/300.
+        assert_eq!(a, vec![w(300.0), w(300.0), w(300.0)]);
+    }
+
+    #[test]
+    fn equal_share_redistributes_capped_child() {
+        let r = reqs();
+        let a = divide(w(1500.0), &r, DivisionPolicy::EqualShare);
+        check_invariants(w(1500.0), &r, &a);
+        // b caps at 300; its slack flows to a and c.
+        assert_eq!(a[1], w(300.0));
+        assert!(a[0] > w(300.0));
+        assert!(a[2] > w(300.0));
+    }
+
+    #[test]
+    fn abundant_budget_satisfies_all_demands() {
+        let r = reqs();
+        for policy in [
+            DivisionPolicy::EqualShare,
+            DivisionPolicy::DemandProportional,
+            DivisionPolicy::PriorityOrder,
+        ] {
+            let a = divide(w(5000.0), &r, policy);
+            check_invariants(w(5000.0), &r, &a);
+            assert_eq!(a, vec![w(500.0), w(300.0), w(1000.0)], "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn proportional_tracks_demand_weights() {
+        let r = reqs();
+        let a = divide(w(600.0), &r, DivisionPolicy::DemandProportional);
+        check_invariants(w(600.0), &r, &a);
+        // Above-floor headrooms: 400/200/900 (sum 1500); extra 300 split
+        // proportionally: 80/40/180.
+        assert!((a[0].watts() - 180.0).abs() < 1.0);
+        assert!((a[1].watts() - 140.0).abs() < 1.0);
+        assert!((a[2].watts() - 280.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn priority_order_feeds_high_priority_first() {
+        let r = vec![
+            BudgetRequest::new("low", w(50.0), w(400.0)).priority(1),
+            BudgetRequest::new("high", w(50.0), w(400.0)).priority(9),
+        ];
+        let a = divide(w(500.0), &r, DivisionPolicy::PriorityOrder);
+        check_invariants(w(500.0), &r, &a);
+        assert_eq!(a[1], w(400.0)); // high priority fully satisfied
+        assert_eq!(a[0], w(100.0)); // leftover
+    }
+
+    #[test]
+    fn floors_always_respected_even_with_zero_extra() {
+        let r = reqs();
+        let a = divide(w(300.0), &r, DivisionPolicy::EqualShare);
+        assert_eq!(a, vec![w(100.0), w(100.0), w(100.0)]);
+    }
+
+    #[test]
+    fn empty_requests_get_empty_assignment() {
+        assert!(divide(w(100.0), &[], DivisionPolicy::EqualShare).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "shed load")]
+    fn infeasible_floors_panic() {
+        let r = reqs();
+        divide(w(200.0), &r, DivisionPolicy::EqualShare);
+    }
+
+    #[test]
+    fn hierarchical_two_level_division_conserves() {
+        // Site 10 kW → two systems → nodes.
+        let systems = vec![
+            BudgetRequest::new("sys-a", w(1000.0), w(6000.0)),
+            BudgetRequest::new("sys-b", w(1000.0), w(8000.0)),
+        ];
+        let sys_assign = divide(w(10_000.0), &systems, DivisionPolicy::DemandProportional);
+        check_invariants(w(10_000.0), &systems, &sys_assign);
+        // Divide system A's share across 4 nodes.
+        let nodes: Vec<BudgetRequest> = (0..4)
+            .map(|i| BudgetRequest::new(format!("n{i}"), w(200.0), w(2000.0)))
+            .collect();
+        let node_assign = divide(sys_assign[0], &nodes, DivisionPolicy::EqualShare);
+        check_invariants(sys_assign[0], &nodes, &node_assign);
+        let node_sum: Power = node_assign.iter().copied().sum();
+        assert!(node_sum <= sys_assign[0] * 1.000001);
+    }
+}

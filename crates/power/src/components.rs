@@ -1,0 +1,164 @@
+//! In-node component power models (CPU / GPU / DRAM).
+//!
+//! The PowerStack's lowest tier (§3.1): each component exposes a power-cap
+//! knob; capping saves power super-linearly relative to the performance it
+//! costs (DVFS: power ~ f·V² while performance ~ f). These analytic models
+//! give the closed-loop controller and the node-level cap distributor
+//! realistic marginal-performance-per-watt curves.
+
+use serde::{Deserialize, Serialize};
+use sustain_sim_core::units::Power;
+
+/// Kind of in-node component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ComponentKind {
+    /// CPU sockets.
+    Cpu,
+    /// GPU/accelerator devices.
+    Gpu,
+    /// DRAM (power capped via bandwidth throttling).
+    Dram,
+}
+
+/// Analytic power/performance model of one component.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComponentPowerModel {
+    /// Component kind.
+    pub kind: ComponentKind,
+    /// Idle power (never cappable below this).
+    pub idle: Power,
+    /// Maximum (uncapped) power.
+    pub max: Power,
+    /// Exponent of the perf-vs-dynamic-power curve: `perf ∝ p_dyn^exp`,
+    /// `exp < 1` (concave — the first watts buy the most performance).
+    pub perf_exponent: f64,
+}
+
+impl ComponentPowerModel {
+    /// A dual-socket server CPU package.
+    pub fn server_cpu() -> Self {
+        ComponentPowerModel {
+            kind: ComponentKind::Cpu,
+            idle: Power::from_watts(45.0),
+            max: Power::from_watts(240.0),
+            perf_exponent: 0.55,
+        }
+    }
+
+    /// An HPC accelerator.
+    pub fn hpc_gpu() -> Self {
+        ComponentPowerModel {
+            kind: ComponentKind::Gpu,
+            idle: Power::from_watts(55.0),
+            max: Power::from_watts(400.0),
+            perf_exponent: 0.65,
+        }
+    }
+
+    /// A DRAM subsystem (per node).
+    pub fn dram() -> Self {
+        ComponentPowerModel {
+            kind: ComponentKind::Dram,
+            idle: Power::from_watts(15.0),
+            max: Power::from_watts(60.0),
+            perf_exponent: 0.45,
+        }
+    }
+
+    /// Dynamic (cappable) power range.
+    pub fn dynamic_range(&self) -> Power {
+        self.max - self.idle
+    }
+
+    /// Clamps a requested cap into the valid `[idle, max]` range.
+    pub fn clamp_cap(&self, cap: Power) -> Power {
+        cap.clamp(self.idle, self.max)
+    }
+
+    /// Relative performance (0..=1) when capped at `cap` watts.
+    /// 1.0 at `max`, 0.0 at `idle`.
+    pub fn perf_at_cap(&self, cap: Power) -> f64 {
+        let cap = self.clamp_cap(cap);
+        let dyn_frac = (cap - self.idle) / self.dynamic_range();
+        dyn_frac.powf(self.perf_exponent)
+    }
+
+    /// The cap needed to reach a target relative performance (inverse of
+    /// [`ComponentPowerModel::perf_at_cap`]).
+    pub fn cap_for_perf(&self, perf: f64) -> Power {
+        let perf = perf.clamp(0.0, 1.0);
+        self.idle + self.dynamic_range() * perf.powf(1.0 / self.perf_exponent)
+    }
+
+    /// Marginal performance per watt at a cap — the quantity a greedy cap
+    /// distributor equalizes across components.
+    pub fn marginal_perf_per_watt(&self, cap: Power) -> f64 {
+        let cap = self.clamp_cap(cap);
+        let range = self.dynamic_range().watts();
+        let x = ((cap - self.idle).watts() / range).max(1e-6);
+        self.perf_exponent * x.powf(self.perf_exponent - 1.0) / range
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perf_endpoints() {
+        for m in [
+            ComponentPowerModel::server_cpu(),
+            ComponentPowerModel::hpc_gpu(),
+            ComponentPowerModel::dram(),
+        ] {
+            assert!((m.perf_at_cap(m.max) - 1.0).abs() < 1e-12);
+            assert_eq!(m.perf_at_cap(m.idle), 0.0);
+        }
+    }
+
+    #[test]
+    fn capping_is_superlinear_power_saver() {
+        let m = ComponentPowerModel::hpc_gpu();
+        // Cap to 70% of max power…
+        let cap = m.max * 0.7;
+        let perf = m.perf_at_cap(cap);
+        // …performance stays above 70%.
+        assert!(perf > 0.7, "perf {perf}");
+    }
+
+    #[test]
+    fn cap_for_perf_inverts_perf_at_cap() {
+        let m = ComponentPowerModel::server_cpu();
+        for p in [0.2, 0.5, 0.8, 1.0] {
+            let cap = m.cap_for_perf(p);
+            assert!((m.perf_at_cap(cap) - p).abs() < 1e-9, "p={p}");
+        }
+    }
+
+    #[test]
+    fn clamping_behaviour() {
+        let m = ComponentPowerModel::dram();
+        assert_eq!(m.clamp_cap(Power::from_watts(0.0)), m.idle);
+        assert_eq!(m.clamp_cap(Power::from_watts(1e6)), m.max);
+        assert_eq!(m.perf_at_cap(Power::from_watts(1e6)), 1.0);
+    }
+
+    #[test]
+    fn marginal_perf_decreasing_in_cap() {
+        let m = ComponentPowerModel::hpc_gpu();
+        let low = m.marginal_perf_per_watt(m.idle + m.dynamic_range() * 0.2);
+        let high = m.marginal_perf_per_watt(m.idle + m.dynamic_range() * 0.9);
+        assert!(low > high, "diminishing returns expected: {low} vs {high}");
+    }
+
+    #[test]
+    fn dynamic_range_positive() {
+        for m in [
+            ComponentPowerModel::server_cpu(),
+            ComponentPowerModel::hpc_gpu(),
+            ComponentPowerModel::dram(),
+        ] {
+            assert!(m.dynamic_range().watts() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # sustain-power
+//!
+//! The HPC PowerStack (§3.1 of the paper): component power models with cap
+//! knobs, node-level cap distribution, hierarchical power budgeting,
+//! closed-loop control, carbon-aware total-budget scaling, and a facility
+//! PUE model.
+//!
+//! The hierarchy mirrors the PowerStack reference architecture the paper
+//! cites: the site administrator sets a total budget; [`budget::divide`]
+//! splits it across systems and jobs; [`node::NodePowerModel::distribute`]
+//! splits a node's share across CPU/GPU/DRAM caps; and
+//! [`carbon_scaler::ScalingPolicy`] is the §3.1 extension that makes the
+//! total budget follow grid carbon intensity.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod budget;
+pub mod carbon_scaler;
+pub mod components;
+pub mod controller;
+pub mod node;
+pub mod pue;
+pub mod tree;
+
+pub use budget::{divide, BudgetRequest, DivisionPolicy};
+pub use carbon_scaler::{evaluate_policy, ScalingOutcome, ScalingPolicy};
+pub use components::{ComponentKind, ComponentPowerModel};
+pub use controller::PowerController;
+pub use node::{NodeCapAssignment, NodePowerModel};
+pub use pue::PueModel;
+pub use tree::BudgetNode;

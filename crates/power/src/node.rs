@@ -1,0 +1,200 @@
+//! Node-level power model and in-node cap distribution.
+//!
+//! §3.1: *"the power budget at each node is split and assigned to the
+//! in-node hardware components (e.g., CPUs, GPUs, and DRAMs) by setting up
+//! their hardware knobs, typically power caps."* The distributor here uses
+//! a waterfilling scheme on the components' concave perf-vs-power curves:
+//! it equalizes target relative performance across components, which for
+//! concave curves is the efficient split.
+
+use crate::components::ComponentPowerModel;
+use serde::{Deserialize, Serialize};
+use sustain_sim_core::units::Power;
+
+/// A node: a set of components plus uncappable base power (fans, NIC,
+/// board).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodePowerModel {
+    /// Cappable components (with multiplicity expanded).
+    pub components: Vec<ComponentPowerModel>,
+    /// Constant uncappable power.
+    pub base: Power,
+}
+
+/// Result of distributing a node power budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeCapAssignment {
+    /// Cap per component, same order as the model's components.
+    pub caps: Vec<Power>,
+    /// Uniform relative performance achieved across components.
+    pub relative_perf: f64,
+    /// Total node power at these caps (incl. base).
+    pub total_power: Power,
+}
+
+impl NodePowerModel {
+    /// A CPU-only node: 2 sockets + DRAM.
+    pub fn cpu_node() -> Self {
+        NodePowerModel {
+            components: vec![
+                ComponentPowerModel::server_cpu(),
+                ComponentPowerModel::server_cpu(),
+                ComponentPowerModel::dram(),
+            ],
+            base: Power::from_watts(60.0),
+        }
+    }
+
+    /// An accelerated node: 2 sockets + 4 GPUs + DRAM.
+    pub fn gpu_node() -> Self {
+        NodePowerModel {
+            components: vec![
+                ComponentPowerModel::server_cpu(),
+                ComponentPowerModel::server_cpu(),
+                ComponentPowerModel::hpc_gpu(),
+                ComponentPowerModel::hpc_gpu(),
+                ComponentPowerModel::hpc_gpu(),
+                ComponentPowerModel::hpc_gpu(),
+                ComponentPowerModel::dram(),
+            ],
+            base: Power::from_watts(90.0),
+        }
+    }
+
+    /// Minimum feasible node power (all components at idle + base).
+    pub fn min_power(&self) -> Power {
+        self.components.iter().map(|c| c.idle).sum::<Power>() + self.base
+    }
+
+    /// Maximum node power (all uncapped + base).
+    pub fn max_power(&self) -> Power {
+        self.components.iter().map(|c| c.max).sum::<Power>() + self.base
+    }
+
+    /// Node power when every component runs at the given uniform relative
+    /// performance.
+    pub fn power_at_perf(&self, perf: f64) -> Power {
+        self.components
+            .iter()
+            .map(|c| c.cap_for_perf(perf))
+            .sum::<Power>()
+            + self.base
+    }
+
+    /// Distributes a node budget across components by equalizing relative
+    /// performance (bisection on the uniform-perf level). The budget is
+    /// clamped into `[min_power, max_power]`.
+    pub fn distribute(&self, budget: Power) -> NodeCapAssignment {
+        let budget = budget.clamp(self.min_power(), self.max_power());
+        // Bisection: power_at_perf is monotone increasing in perf.
+        let (mut lo, mut hi) = (0.0f64, 1.0f64);
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if self.power_at_perf(mid) <= budget {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let perf = lo;
+        let caps: Vec<Power> = self
+            .components
+            .iter()
+            .map(|c| c.cap_for_perf(perf))
+            .collect();
+        let total_power = caps.iter().copied().sum::<Power>() + self.base;
+        NodeCapAssignment {
+            caps,
+            relative_perf: perf,
+            total_power,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_power_bounds() {
+        let n = NodePowerModel::gpu_node();
+        // 2×45 + 4×55 + 15 + 90 = 415 W idle floor.
+        assert!((n.min_power().watts() - 415.0).abs() < 1e-9);
+        // 2×240 + 4×400 + 60 + 90 = 2230 W ceiling.
+        assert!((n.max_power().watts() - 2230.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distribute_full_budget_gives_full_perf() {
+        let n = NodePowerModel::cpu_node();
+        let a = n.distribute(n.max_power());
+        assert!(a.relative_perf > 0.999);
+        assert!((a.total_power.watts() - n.max_power().watts()).abs() < 1.0);
+    }
+
+    #[test]
+    fn distribute_min_budget_gives_zero_perf() {
+        let n = NodePowerModel::cpu_node();
+        let a = n.distribute(Power::ZERO);
+        // The bisection resolves perf only down to where the cap's power
+        // contribution underflows the idle sum's ulp; anything below 1e-6
+        // relative performance is physically zero.
+        assert!(a.relative_perf < 1e-6);
+        assert!((a.total_power.watts() - n.min_power().watts()).abs() < 1.0);
+    }
+
+    #[test]
+    fn distribute_meets_budget_tightly() {
+        let n = NodePowerModel::gpu_node();
+        for frac in [0.3, 0.5, 0.7, 0.9] {
+            let budget = n.min_power() + (n.max_power() - n.min_power()) * frac;
+            let a = n.distribute(budget);
+            assert!(
+                a.total_power <= budget * 1.0001,
+                "frac {frac}: {} > {budget}",
+                a.total_power
+            );
+            assert!(
+                a.total_power >= budget * 0.999,
+                "frac {frac}: budget underused: {} vs {budget}",
+                a.total_power
+            );
+        }
+    }
+
+    #[test]
+    fn distribution_equalizes_perf_across_components() {
+        let n = NodePowerModel::gpu_node();
+        let budget = n.min_power() + (n.max_power() - n.min_power()) * 0.6;
+        let a = n.distribute(budget);
+        for (cap, comp) in a.caps.iter().zip(&n.components) {
+            let p = comp.perf_at_cap(*cap);
+            assert!(
+                (p - a.relative_perf).abs() < 1e-6,
+                "component perf {p} vs uniform {}",
+                a.relative_perf
+            );
+        }
+    }
+
+    #[test]
+    fn caps_within_component_ranges() {
+        let n = NodePowerModel::gpu_node();
+        let a = n.distribute(Power::from_kw(1.0));
+        for (cap, comp) in a.caps.iter().zip(&n.components) {
+            assert!(*cap >= comp.idle && *cap <= comp.max);
+        }
+    }
+
+    #[test]
+    fn more_budget_more_perf_monotone() {
+        let n = NodePowerModel::cpu_node();
+        let mut last = -1.0;
+        for frac in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let budget = n.min_power() + (n.max_power() - n.min_power()) * frac;
+            let perf = n.distribute(budget).relative_perf;
+            assert!(perf >= last);
+            last = perf;
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! The explicit PowerStack hierarchy (§3.1).
+//!
+//! The paper's reference architecture divides the site power budget down
+//! a tree: *"the site administrator inputs the total system power budget,
+//! and then the system management tool divides and distributes the given
+//! power budget accordingly to the currently running jobs. The given
+//! power budget is distributed across the allocated nodes for each job,
+//! and then the power budget at each node is split and assigned to the
+//! in-node hardware components."*
+//!
+//! [`BudgetNode`] is that tree as a first-class type: each level carries
+//! its own [`DivisionPolicy`], and [`BudgetNode::distribute`] propagates a
+//! budget from the root to the leaves while maintaining the conservation
+//! invariants of [`crate::budget`].
+
+use crate::budget::{divide, BudgetRequest, DivisionPolicy};
+use serde::{Deserialize, Serialize};
+use sustain_sim_core::units::Power;
+
+/// A node in the PowerStack hierarchy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BudgetNode {
+    /// Name ("site", "system-a", "job#7", "node12", "cpu0", …).
+    pub name: String,
+    /// Floor power (idle/safety), propagated up as the sum of children's
+    /// floors for interior nodes.
+    pub min: Power,
+    /// Demand ceiling; for interior nodes, the sum of children's demands.
+    pub demand: Power,
+    /// Priority at the parent's division point.
+    pub priority: u32,
+    /// Division policy applied to this node's children.
+    pub policy: DivisionPolicy,
+    /// Children (empty for leaves).
+    pub children: Vec<BudgetNode>,
+    /// Budget assigned by the last distribution pass.
+    pub assigned: Power,
+}
+
+impl BudgetNode {
+    /// Creates a leaf (a component or other terminal consumer).
+    pub fn leaf(name: impl Into<String>, min: Power, demand: Power) -> BudgetNode {
+        assert!(min <= demand, "leaf floor exceeds demand");
+        BudgetNode {
+            name: name.into(),
+            min,
+            demand,
+            priority: 0,
+            policy: DivisionPolicy::EqualShare,
+            children: Vec::new(),
+            assigned: Power::ZERO,
+        }
+    }
+
+    /// Creates an interior node whose floor/demand aggregate its
+    /// children's.
+    pub fn group(
+        name: impl Into<String>,
+        policy: DivisionPolicy,
+        children: Vec<BudgetNode>,
+    ) -> BudgetNode {
+        assert!(!children.is_empty(), "group needs children");
+        let min = children.iter().map(|c| c.min).sum();
+        let demand = children.iter().map(|c| c.demand).sum();
+        BudgetNode {
+            name: name.into(),
+            min,
+            demand,
+            priority: 0,
+            policy,
+            children,
+            assigned: Power::ZERO,
+        }
+    }
+
+    /// Sets the priority (builder style).
+    pub fn priority(mut self, p: u32) -> BudgetNode {
+        self.priority = p;
+        self
+    }
+
+    /// Distributes `budget` recursively. Each level runs its policy over
+    /// its children's (floor, demand, priority) and recurses.
+    ///
+    /// # Panics
+    /// Panics if `budget` is below this subtree's floor.
+    pub fn distribute(&mut self, budget: Power) {
+        assert!(
+            budget >= self.min * 0.999999,
+            "{}: budget {budget} below floor {}",
+            self.name,
+            self.min
+        );
+        self.assigned = budget.min(self.demand);
+        if self.children.is_empty() {
+            return;
+        }
+        let requests: Vec<BudgetRequest> = self
+            .children
+            .iter()
+            .map(|c| {
+                BudgetRequest::new(c.name.clone(), c.min, c.demand).priority(c.priority)
+            })
+            .collect();
+        let shares = divide(self.assigned, &requests, self.policy);
+        for (child, share) in self.children.iter_mut().zip(shares) {
+            child.distribute(share);
+        }
+    }
+
+    /// Sum of the leaves' assignments in this subtree.
+    pub fn leaf_total(&self) -> Power {
+        if self.children.is_empty() {
+            self.assigned
+        } else {
+            self.children.iter().map(BudgetNode::leaf_total).sum()
+        }
+    }
+
+    /// Checks conservation everywhere: children never exceed their
+    /// parent's assignment, and every node is within `[min, demand]`.
+    pub fn check(&self) {
+        assert!(
+            self.assigned >= self.min * 0.999999,
+            "{}: below floor",
+            self.name
+        );
+        assert!(
+            self.assigned <= self.demand * 1.000001,
+            "{}: above demand",
+            self.name
+        );
+        if !self.children.is_empty() {
+            let child_sum: Power = self.children.iter().map(|c| c.assigned).sum();
+            assert!(
+                child_sum <= self.assigned * 1.000001,
+                "{}: children overdraw parent",
+                self.name
+            );
+            for c in &self.children {
+                c.check();
+            }
+        }
+    }
+
+    /// Finds a node by name (depth-first).
+    pub fn find(&self, name: &str) -> Option<&BudgetNode> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    /// A reference PowerStack: a site with two systems; system A runs two
+    /// jobs of GPU nodes, system B one job of CPU nodes; nodes split into
+    /// CPU/GPU/DRAM component leaves.
+    pub fn example_site() -> BudgetNode {
+        use crate::components::ComponentPowerModel;
+        let comp_leaf = |m: &ComponentPowerModel, tag: &str| {
+            BudgetNode::leaf(tag.to_string(), m.idle, m.max)
+        };
+        let gpu_node = |name: &str| {
+            BudgetNode::group(
+                name,
+                DivisionPolicy::EqualShare,
+                vec![
+                    comp_leaf(&ComponentPowerModel::server_cpu(), &format!("{name}/cpu")),
+                    comp_leaf(&ComponentPowerModel::hpc_gpu(), &format!("{name}/gpu0")),
+                    comp_leaf(&ComponentPowerModel::hpc_gpu(), &format!("{name}/gpu1")),
+                    comp_leaf(&ComponentPowerModel::dram(), &format!("{name}/dram")),
+                ],
+            )
+        };
+        let cpu_node = |name: &str| {
+            BudgetNode::group(
+                name,
+                DivisionPolicy::EqualShare,
+                vec![
+                    comp_leaf(&ComponentPowerModel::server_cpu(), &format!("{name}/cpu0")),
+                    comp_leaf(&ComponentPowerModel::server_cpu(), &format!("{name}/cpu1")),
+                    comp_leaf(&ComponentPowerModel::dram(), &format!("{name}/dram")),
+                ],
+            )
+        };
+        let job = |name: &str, nodes: Vec<BudgetNode>, prio: u32| {
+            BudgetNode::group(name, DivisionPolicy::EqualShare, nodes).priority(prio)
+        };
+        let sys_a = BudgetNode::group(
+            "system-a",
+            DivisionPolicy::PriorityOrder,
+            vec![
+                job("job#1", vec![gpu_node("a-n0"), gpu_node("a-n1")], 5),
+                job("job#2", vec![gpu_node("a-n2")], 2),
+            ],
+        );
+        let sys_b = BudgetNode::group(
+            "system-b",
+            DivisionPolicy::EqualShare,
+            vec![job(
+                "job#3",
+                vec![cpu_node("b-n0"), cpu_node("b-n1"), cpu_node("b-n2")],
+                1,
+            )],
+        );
+        BudgetNode::group(
+            "site",
+            DivisionPolicy::DemandProportional,
+            vec![sys_a, sys_b],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_aggregates_floors_and_demands() {
+        let g = BudgetNode::group(
+            "g",
+            DivisionPolicy::EqualShare,
+            vec![
+                BudgetNode::leaf("a", Power::from_watts(10.0), Power::from_watts(100.0)),
+                BudgetNode::leaf("b", Power::from_watts(20.0), Power::from_watts(50.0)),
+            ],
+        );
+        assert_eq!(g.min.watts(), 30.0);
+        assert_eq!(g.demand.watts(), 150.0);
+    }
+
+    #[test]
+    fn full_budget_satisfies_all_leaves() {
+        let mut site = BudgetNode::example_site();
+        let demand = site.demand;
+        site.distribute(demand);
+        site.check();
+        assert!((site.leaf_total() / demand - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn constrained_budget_conserved_at_every_level() {
+        let mut site = BudgetNode::example_site();
+        let budget = site.min + (site.demand - site.min) * 0.4;
+        site.distribute(budget);
+        site.check();
+        let leaf_total = site.leaf_total();
+        assert!(leaf_total <= budget * 1.000001);
+        // Work-conserving at the root: everything assigned flows to
+        // leaves.
+        assert!((leaf_total / site.assigned - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn priority_order_feeds_high_priority_job_first() {
+        let mut site = BudgetNode::example_site();
+        // Tight budget: floors plus a little.
+        let budget = site.min + (site.demand - site.min) * 0.1;
+        site.distribute(budget);
+        site.check();
+        let job1 = site.find("job#1").unwrap();
+        let job2 = site.find("job#2").unwrap();
+        // job#1 (priority 5) gets a larger share of its demand than job#2.
+        let sat1 = (job1.assigned - job1.min) / (job1.demand - job1.min);
+        let sat2 = (job2.assigned - job2.min) / (job2.demand - job2.min);
+        assert!(
+            sat1 >= sat2,
+            "priority job saturation {sat1} < lower-priority {sat2}"
+        );
+    }
+
+    #[test]
+    fn find_locates_nodes() {
+        let site = BudgetNode::example_site();
+        assert!(site.find("a-n1/gpu0").is_some());
+        assert!(site.find("nonexistent").is_none());
+        assert_eq!(site.find("site").unwrap().name, "site");
+    }
+
+    #[test]
+    #[should_panic(expected = "below floor")]
+    fn underfloor_budget_rejected() {
+        let mut site = BudgetNode::example_site();
+        let too_low = site.min * 0.5;
+        site.distribute(too_low);
+    }
+
+    #[test]
+    fn four_level_depth_exists() {
+        // site → system → job → node → component = the paper's hierarchy.
+        let site = BudgetNode::example_site();
+        let mut depth = 0;
+        let mut node = &site;
+        while let Some(first) = node.children.first() {
+            depth += 1;
+            node = first;
+        }
+        assert_eq!(depth, 4);
+    }
+}

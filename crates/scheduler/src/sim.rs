@@ -1,0 +1,1797 @@
+//! The event-driven RJMS simulator.
+//!
+//! One simulator covers all the §3 experiments: it schedules a job trace
+//! onto a cluster under a (possibly time-varying, carbon-derived) power
+//! budget, with pluggable queueing policies (FCFS, EASY backfilling,
+//! carbon-aware backfilling), carbon-aware checkpoint/suspend (§3.3), and
+//! malleable reshaping (§3.2).
+//!
+//! Semantics and simplifications (documented here, asserted in tests):
+//!
+//! * Nodes are homogeneous; a job's power is `power_per_node × alloc`.
+//! * Reservation (EASY "shadow time") uses exact remaining runtimes of
+//!   running jobs; *backfill candidates* are gated by their user walltime
+//!   estimates, as in production EASY.
+//! * Suspending a checkpointable job costs `checkpoint_overhead` of extra
+//!   work; resuming costs `restart_overhead` (both stretch the remaining
+//!   runtime, modelling write-out and restore).
+//! * Power budgets bind at scheduling decisions and at hourly ticks; if
+//!   shedding (shrink + suspend) cannot get under a newly lowered budget,
+//!   the overshoot is recorded as violation time rather than killing jobs.
+
+use crate::cluster::{Allocation, Cluster};
+use crate::metrics::{JobRecord, Segment, SimOutcome};
+use serde::{Deserialize, Serialize};
+use sustain_grid::trace::CarbonTrace;
+use sustain_sim_core::event::{EventId, EventQueue};
+use sustain_sim_core::series::TimeSeries;
+use sustain_sim_core::time::{SimDuration, SimTime};
+use sustain_sim_core::units::{Carbon, Energy, Power};
+use sustain_workload::job::{Job, JobId};
+
+/// Queueing/backfilling policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Policy {
+    /// First-come-first-served; the head of the queue blocks.
+    Fcfs,
+    /// EASY backfilling: jobs may jump the queue if they do not delay the
+    /// reservation of the head job.
+    EasyBackfill,
+    /// Conservative backfilling: every queued job holds a reservation; a
+    /// job may only start early if it delays no earlier reservation.
+    ConservativeBackfill,
+    /// EASY backfilling plus carbon-aware start gating (§3.3): delayable
+    /// jobs only start in green periods, bounded by a maximum delay.
+    CarbonAware(CarbonAwareCfg),
+}
+
+/// Configuration of the carbon-aware start gate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CarbonAwareCfg {
+    /// A start is "green" when CI < this fraction of the trace mean.
+    pub green_threshold_fraction: f64,
+    /// Jobs with walltime estimates at or below this start regardless of
+    /// the grid (delaying short jobs saves little carbon and hurts users).
+    pub short_job_cutoff: SimDuration,
+    /// After waiting this long a job becomes eligible unconditionally
+    /// (bounds the worst-case wait).
+    pub max_delay: SimDuration,
+}
+
+impl Default for CarbonAwareCfg {
+    fn default() -> Self {
+        CarbonAwareCfg {
+            green_threshold_fraction: 0.95,
+            short_job_cutoff: SimDuration::from_hours(2.0),
+            max_delay: SimDuration::from_hours(24.0),
+        }
+    }
+}
+
+/// Node-failure injection model: failures strike nodes at a per-node
+/// MTBF; a failed busy node kills its job (checkpointable jobs roll back
+/// to their last segment boundary, which acts as the checkpoint; others
+/// restart from scratch), and the node returns after the repair time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureModel {
+    /// Per-node mean time between failures.
+    pub node_mtbf: SimDuration,
+    /// Node repair time.
+    pub mttr: SimDuration,
+    /// RNG seed for the failure process.
+    pub seed: u64,
+}
+
+impl Default for FailureModel {
+    fn default() -> Self {
+        FailureModel {
+            node_mtbf: SimDuration::from_days(365.0),
+            mttr: SimDuration::from_hours(8.0),
+            seed: 0xFA11,
+        }
+    }
+}
+
+/// Fair-share configuration: users' recent (exponentially decayed) usage
+/// demotes their pending jobs within the same queue priority — the
+/// standard RJMS fairness mechanism, and the §3.4 hook for usage-based
+/// incentives.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FairShareCfg {
+    /// Half-life of the usage decay.
+    pub half_life: SimDuration,
+}
+
+impl Default for FairShareCfg {
+    fn default() -> Self {
+        FairShareCfg {
+            half_life: SimDuration::from_days(7.0),
+        }
+    }
+}
+
+/// Carbon-aware checkpoint/suspend configuration (§3.3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointCfg {
+    /// Suspend checkpointable jobs when CI > this fraction of the mean.
+    pub suspend_threshold_fraction: f64,
+    /// Allow resumes when CI < this fraction of the mean (must be ≤ the
+    /// suspend threshold for hysteresis).
+    pub resume_threshold_fraction: f64,
+    /// Extra work (wall time at current allocation) to write a checkpoint.
+    pub checkpoint_overhead: SimDuration,
+    /// Extra work to restore from a checkpoint.
+    pub restart_overhead: SimDuration,
+    /// Jobs with less remaining runtime than this are never suspended.
+    pub min_remaining: SimDuration,
+    /// Periodic checkpoint cadence while running: on a node failure a
+    /// checkpointable job loses only the work since its last whole
+    /// interval.
+    pub interval: SimDuration,
+}
+
+impl Default for CheckpointCfg {
+    fn default() -> Self {
+        CheckpointCfg {
+            suspend_threshold_fraction: 1.15,
+            resume_threshold_fraction: 1.0,
+            checkpoint_overhead: SimDuration::from_mins(5.0),
+            restart_overhead: SimDuration::from_mins(3.0),
+            min_remaining: SimDuration::from_hours(1.0),
+            interval: SimDuration::from_hours(1.0),
+        }
+    }
+}
+
+/// Full simulator configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The cluster.
+    pub cluster: Cluster,
+    /// Queueing policy.
+    pub policy: Policy,
+    /// Multi-queue admission/priority configuration (§3.4). Jobs that no
+    /// queue admits are rejected; admitted jobs inherit their queue's
+    /// priority for pending-order. `None` = single FIFO queue.
+    pub queues: Option<crate::queue::QueueSet>,
+    /// Grid carbon-intensity trace (enables carbon accounting and the
+    /// carbon-aware policies).
+    pub carbon_trace: Option<CarbonTrace>,
+    /// Time-varying total power budget in watts (e.g. produced by a
+    /// `ScalingPolicy`); `None` = unlimited.
+    pub power_budget: Option<TimeSeries>,
+    /// Carbon-aware checkpointing (requires a carbon trace).
+    pub checkpoint: Option<CheckpointCfg>,
+    /// Fair-share usage-based ordering within queue priorities.
+    pub fair_share: Option<FairShareCfg>,
+    /// Node-failure injection (None = reliable hardware).
+    pub failures: Option<FailureModel>,
+    /// Enable malleable reshaping at ticks (§3.2).
+    pub enable_malleability: bool,
+    /// Wall-time cost a job pays on every reshape (data redistribution,
+    /// MPI session reconfiguration). Grow offers are declined when the
+    /// remaining work cannot amortize this cost (see [`crate::malleable`]).
+    pub reshape_cost: SimDuration,
+    /// Tick interval for budget/checkpoint re-evaluation.
+    pub tick: SimDuration,
+    /// Safety cap on dispatched events.
+    pub max_steps: u64,
+}
+
+impl SimConfig {
+    /// A plain EASY-backfilling setup with no carbon coupling.
+    pub fn easy(cluster: Cluster) -> SimConfig {
+        SimConfig {
+            cluster,
+            policy: Policy::EasyBackfill,
+            queues: None,
+            carbon_trace: None,
+            power_budget: None,
+            checkpoint: None,
+            fair_share: None,
+            failures: None,
+            enable_malleability: false,
+            reshape_cost: SimDuration::from_secs(30.0),
+            tick: SimDuration::from_hours(1.0),
+            max_steps: 10_000_000,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Ev {
+    Submit(usize),
+    Finish(JobId),
+    Tick,
+    NodeRepaired,
+}
+
+struct RunJob {
+    idx: usize,
+    alloc: u32,
+    rate: f64,
+    work_remaining: f64,
+    last_update: SimTime,
+    seg_start: SimTime,
+    /// Work remaining at the segment start — the rollback point when a
+    /// failure strikes a checkpointable job.
+    seg_start_work: f64,
+    finish_ev: EventId,
+}
+
+struct Book {
+    start: Option<SimTime>,
+    end: Option<SimTime>,
+    segments: Vec<Segment>,
+    suspensions: u32,
+    reshapes: u32,
+    restarts: u32,
+    rejected: bool,
+}
+
+struct Sim<'a> {
+    jobs: &'a [Job],
+    cfg: &'a SimConfig,
+    queue: EventQueue<Ev>,
+    alloc: Allocation,
+    pending: Vec<usize>,
+    priorities: Vec<u32>,
+    // Per-user decayed usage in node-seconds: (value, last decay time).
+    usage: std::collections::HashMap<u32, (f64, SimTime)>,
+    running: Vec<RunJob>,
+    suspended: Vec<(usize, f64)>, // (job idx, work_remaining)
+    books: Vec<Book>,
+    running_power: Power,
+    submitted: usize,
+    completed: usize,
+    rejected: usize,
+    trace_mean: f64,
+    // Continuous accounting.
+    last_account: SimTime,
+    idle_energy: Energy,
+    idle_carbon: Carbon,
+    violation_seconds: f64,
+    tick_scheduled: bool,
+    failure_rng: Option<sustain_sim_core::rng::RngStream>,
+    total_failures: u32,
+    /// Largest budget the series ever offers (jobs that cannot fit even
+    /// this are rejected at submit rather than pending forever).
+    max_budget: Option<Power>,
+}
+
+impl<'a> Sim<'a> {
+    fn new(jobs: &'a [Job], cfg: &'a SimConfig) -> Self {
+        let trace_mean = cfg
+            .carbon_trace
+            .as_ref()
+            .map(|t| t.series().stats().mean())
+            .unwrap_or(0.0);
+        Sim {
+            jobs,
+            cfg,
+            queue: EventQueue::with_capacity(jobs.len() * 2 + 16),
+            alloc: Allocation::new(cfg.cluster.nodes),
+            pending: Vec::new(),
+            priorities: vec![0; jobs.len()],
+            usage: std::collections::HashMap::new(),
+            running: Vec::new(),
+            suspended: Vec::new(),
+            books: jobs
+                .iter()
+                .map(|_| Book {
+                    start: None,
+                    end: None,
+                    segments: Vec::new(),
+                    suspensions: 0,
+                    reshapes: 0,
+                    restarts: 0,
+                    rejected: false,
+                })
+                .collect(),
+            running_power: Power::ZERO,
+            submitted: 0,
+            completed: 0,
+            rejected: 0,
+            trace_mean,
+            last_account: SimTime::ZERO,
+            idle_energy: Energy::ZERO,
+            idle_carbon: Carbon::ZERO,
+            violation_seconds: 0.0,
+            tick_scheduled: false,
+            failure_rng: cfg
+                .failures
+                .as_ref()
+                .map(|f| sustain_sim_core::rng::RngStream::new(f.seed)),
+            total_failures: 0,
+            max_budget: cfg
+                .power_budget
+                .as_ref()
+                .map(|b| Power::from_watts(b.values().iter().copied().fold(0.0, f64::max))),
+        }
+    }
+
+    /// Decayed usage of a user at `now` (node-seconds, half-life decay).
+    fn decayed_usage(&self, user: u32, now: SimTime) -> f64 {
+        let Some(cfg) = &self.cfg.fair_share else {
+            return 0.0;
+        };
+        match self.usage.get(&user) {
+            Some(&(value, at)) => {
+                let dt = now.saturating_since(at).as_secs();
+                value * 0.5f64.powf(dt / cfg.half_life.as_secs())
+            }
+            None => 0.0,
+        }
+    }
+
+    /// Records usage for a user at `now`.
+    fn record_usage(&mut self, user: u32, node_seconds: f64, now: SimTime) {
+        if self.cfg.fair_share.is_none() {
+            return;
+        }
+        let decayed = self.decayed_usage(user, now);
+        self.usage.insert(user, (decayed + node_seconds, now));
+    }
+
+    /// Re-sorts the pending list under fair-share: queue priority first,
+    /// then ascending decayed usage, then FIFO.
+    fn resort_pending(&mut self, now: SimTime) {
+        if self.cfg.fair_share.is_none() || self.pending.len() < 2 {
+            return;
+        }
+        let mut keyed: Vec<(std::cmp::Reverse<u32>, f64, SimTime, JobId, usize)> = self
+            .pending
+            .iter()
+            .map(|&i| {
+                (
+                    std::cmp::Reverse(self.priorities[i]),
+                    self.decayed_usage(self.jobs[i].user, now),
+                    self.jobs[i].submit,
+                    self.jobs[i].id,
+                    i,
+                )
+            })
+            .collect();
+        keyed.sort_by(|a, b| {
+            a.0.cmp(&b.0)
+                .then(a.1.total_cmp(&b.1))
+                .then(a.2.cmp(&b.2))
+                .then(a.3.cmp(&b.3))
+        });
+        self.pending = keyed.into_iter().map(|k| k.4).collect();
+    }
+
+    /// Inserts a job into the pending list keeping it sorted by
+    /// (priority desc, submit asc, id asc) — deterministic multi-queue
+    /// ordering.
+    fn pending_insert(&mut self, idx: usize) {
+        let key = |s: &Self, i: usize| {
+            (
+                std::cmp::Reverse(s.priorities[i]),
+                s.jobs[i].submit,
+                s.jobs[i].id,
+            )
+        };
+        let pos = self
+            .pending
+            .partition_point(|&p| key(self, p) <= key(self, idx));
+        self.pending.insert(pos, idx);
+    }
+
+    fn budget_at(&self, t: SimTime) -> Option<Power> {
+        self.cfg
+            .power_budget
+            .as_ref()
+            .map(|s| Power::from_watts(s.at(t)))
+    }
+
+    fn ci_at(&self, t: SimTime) -> Option<f64> {
+        self.cfg
+            .carbon_trace
+            .as_ref()
+            .map(|tr| tr.at(t).grams_per_kwh())
+    }
+
+    /// Accumulates idle energy/carbon and budget-violation time since the
+    /// last accounting point. Must be called before any state change.
+    fn account(&mut self, now: SimTime) {
+        if now <= self.last_account {
+            return;
+        }
+        let window = now - self.last_account;
+        let idle_power = self.cfg.cluster.idle_node_power * self.alloc.free() as f64;
+        let e = idle_power.for_duration(window);
+        self.idle_energy += e;
+        if let Some(trace) = &self.cfg.carbon_trace {
+            self.idle_carbon += e.carbon_at(trace.mean_over(self.last_account, now));
+        }
+        if let Some(budget) = self.budget_at(self.last_account) {
+            if self.running_power > budget * 1.000001 {
+                self.violation_seconds += window.as_secs();
+            }
+        }
+        self.last_account = now;
+    }
+
+    /// Chooses the allocation for a start attempt, or `None` if the job
+    /// cannot start now.
+    fn choose_alloc(&self, idx: usize, now: SimTime) -> Option<u32> {
+        let job = &self.jobs[idx];
+        let (min, max) = job.bounds();
+        let desired = job.requested_nodes.clamp(min, max);
+        let mut alloc = desired.min(self.alloc.free());
+        if let Some(budget) = self.budget_at(now) {
+            let headroom = budget - self.running_power;
+            if headroom <= Power::ZERO {
+                return None;
+            }
+            let power_fit = (headroom.watts() / job.power_per_node.watts().max(1e-9)) as u32;
+            alloc = alloc.min(power_fit);
+        }
+        if alloc >= min && alloc > 0 {
+            Some(alloc)
+        } else {
+            None
+        }
+    }
+
+    fn start_job(&mut self, idx: usize, alloc: u32, work_remaining: f64, now: SimTime) {
+        let job = &self.jobs[idx];
+        self.alloc.claim(alloc);
+        self.running_power += job.power_at(alloc);
+        let rate = job.speedup.speedup(alloc.min(job.efficient_nodes).max(1));
+        let finish_at = now + SimDuration::from_secs(work_remaining / rate);
+        let finish_ev = self.queue.schedule(finish_at, Ev::Finish(job.id));
+        let book = &mut self.books[idx];
+        if book.start.is_none() {
+            book.start = Some(now);
+        }
+        self.running.push(RunJob {
+            idx,
+            alloc,
+            rate,
+            work_remaining,
+            last_update: now,
+            seg_start: now,
+            seg_start_work: work_remaining,
+            finish_ev,
+        });
+    }
+
+    /// Updates a running job's remaining work to `now`.
+    fn progress(run: &mut RunJob, now: SimTime) {
+        let elapsed = (now - run.last_update).as_secs();
+        run.work_remaining = (run.work_remaining - elapsed * run.rate).max(0.0);
+        run.last_update = now;
+    }
+
+    fn close_segment(&mut self, pos: usize, now: SimTime) {
+        let run = &self.running[pos];
+        let job = &self.jobs[run.idx];
+        if now > run.seg_start {
+            self.books[run.idx].segments.push(Segment {
+                start: run.seg_start,
+                end: now,
+                nodes: run.alloc,
+                power: job.power_at(run.alloc),
+            });
+        }
+    }
+
+    fn finish_job(&mut self, id: JobId, now: SimTime) {
+        let Some(pos) = self.running.iter().position(|r| self.jobs[r.idx].id == id) else {
+            return; // stale event (job was suspended/reshaped; event cancelled)
+        };
+        self.close_segment(pos, now);
+        let run = self.running.remove(pos);
+        let job = &self.jobs[run.idx];
+        self.alloc.release(run.alloc);
+        self.running_power -= job.power_at(run.alloc);
+        self.books[run.idx].end = Some(now);
+        self.completed += 1;
+        let user = job.user;
+        let node_seconds: f64 = self.books[run.idx]
+            .segments
+            .iter()
+            .map(|s| s.node_seconds())
+            .sum();
+        self.record_usage(user, node_seconds, now);
+    }
+
+    /// Reshapes a running job to a new allocation (malleability, §3.2).
+    fn reshape(&mut self, pos: usize, new_alloc: u32, now: SimTime) {
+        Self::progress(&mut self.running[pos], now);
+        self.close_segment(pos, now);
+        let run = &mut self.running[pos];
+        let job = &self.jobs[run.idx];
+        let old = run.alloc;
+        if new_alloc > old {
+            self.alloc.claim(new_alloc - old);
+        } else {
+            self.alloc.release(old - new_alloc);
+        }
+        self.running_power -= job.power_at(old);
+        self.running_power += job.power_at(new_alloc);
+        run.alloc = new_alloc;
+        run.rate = job.speedup.speedup(new_alloc.min(job.efficient_nodes).max(1));
+        run.seg_start = now;
+        // The reshape itself costs wall time at the new rate.
+        run.work_remaining += self.cfg.reshape_cost.as_secs() * run.rate;
+        run.seg_start_work = run.work_remaining;
+        self.queue.cancel(run.finish_ev);
+        let finish_at = now + SimDuration::from_secs(run.work_remaining / run.rate);
+        run.finish_ev = self.queue.schedule(finish_at, Ev::Finish(job.id));
+        self.books[run.idx].reshapes += 1;
+    }
+
+    /// Suspends a running checkpointable job (§3.3): pays the checkpoint
+    /// overhead, frees its nodes.
+    fn suspend(&mut self, pos: usize, now: SimTime) {
+        Self::progress(&mut self.running[pos], now);
+        self.close_segment(pos, now);
+        let run = self.running.remove(pos);
+        let job = &self.jobs[run.idx];
+        self.alloc.release(run.alloc);
+        self.running_power -= job.power_at(run.alloc);
+        self.queue.cancel(run.finish_ev);
+        let overhead = self
+            .cfg
+            .checkpoint
+            .as_ref()
+            .map(|c| c.checkpoint_overhead.as_secs())
+            .unwrap_or(0.0);
+        // The overhead stretches remaining work at the (former) rate.
+        let work = run.work_remaining + overhead * run.rate;
+        self.books[run.idx].suspensions += 1;
+        self.suspended.push((run.idx, work));
+    }
+
+    /// Whether a pending job may start now under the carbon-aware gate.
+    fn eligible(&self, idx: usize, now: SimTime) -> bool {
+        let Policy::CarbonAware(cfg) = &self.cfg.policy else {
+            return true;
+        };
+        let job = &self.jobs[idx];
+        if job.walltime_estimate <= cfg.short_job_cutoff {
+            return true;
+        }
+        if now.saturating_since(job.submit) >= cfg.max_delay {
+            return true;
+        }
+        match self.ci_at(now) {
+            Some(ci) => ci < cfg.green_threshold_fraction * self.trace_mean,
+            None => true,
+        }
+    }
+
+    /// Whether suspended jobs may resume now (checkpoint hysteresis).
+    fn resume_allowed(&self, now: SimTime) -> bool {
+        match (&self.cfg.checkpoint, self.ci_at(now)) {
+            (Some(cfg), Some(ci)) => ci < cfg.resume_threshold_fraction * self.trace_mean,
+            _ => true,
+        }
+    }
+
+    /// The core scheduling pass: resume suspended, start pending (with
+    /// EASY backfilling where enabled).
+    fn try_schedule(&mut self, now: SimTime) {
+        self.resort_pending(now);
+        // 1. Resume suspended jobs (FIFO) if the grid allows it.
+        if !self.suspended.is_empty() && self.resume_allowed(now) {
+            let mut i = 0;
+            while i < self.suspended.len() {
+                let (idx, work) = self.suspended[i];
+                if let Some(alloc) = self.choose_alloc(idx, now) {
+                    let restart = self
+                        .cfg
+                        .checkpoint
+                        .as_ref()
+                        .map(|c| c.restart_overhead.as_secs())
+                        .unwrap_or(0.0);
+                    let job = &self.jobs[idx];
+                    let rate = job.speedup.speedup(alloc.min(job.efficient_nodes).max(1));
+                    self.suspended.remove(i);
+                    self.start_job(idx, alloc, work + restart * rate, now);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+
+        if matches!(self.cfg.policy, Policy::ConservativeBackfill) {
+            self.conservative_schedule(now);
+            return;
+        }
+
+        // 2. Start pending jobs.
+        loop {
+            // First eligible pending job is the "head" holding the
+            // reservation.
+            let Some(head_pos) = (0..self.pending.len()).find(|&p| self.eligible(self.pending[p], now))
+            else {
+                return;
+            };
+            let head_idx = self.pending[head_pos];
+            if let Some(alloc) = self.choose_alloc(head_idx, now) {
+                self.pending.remove(head_pos);
+                let work = self.jobs[head_idx].work;
+                self.start_job(head_idx, alloc, work, now);
+                continue;
+            }
+            // Head blocked: backfill if the policy allows.
+            if matches!(self.cfg.policy, Policy::Fcfs) {
+                return;
+            }
+            self.backfill(head_idx, now);
+            return;
+        }
+    }
+
+    /// Conservative backfilling: recompute all reservations from scratch
+    /// (standard simulator practice); start exactly the jobs whose
+    /// reservation begins now. Reservation durations use user walltime
+    /// estimates; actual completions free resources earlier and the next
+    /// pass re-plans.
+    fn conservative_schedule(&mut self, now: SimTime) {
+        'restart: loop {
+            // Availability profile: (time, +freed nodes) from running jobs.
+            let mut events: Vec<(SimTime, i64)> = self
+                .running
+                .iter()
+                .map(|r| {
+                    let remaining = SimDuration::from_secs(
+                        (r.work_remaining
+                            - (now - r.last_update).as_secs().max(0.0) * r.rate)
+                            .max(0.0)
+                            / r.rate,
+                    );
+                    (now + remaining, r.alloc as i64)
+                })
+                .collect();
+            let mut free_now = self.alloc.free() as i64;
+
+            let pending = self.pending.clone();
+            for (order_pos, &idx) in pending.iter().enumerate() {
+                let job = &self.jobs[idx];
+                let (min_alloc, _) = job.bounds();
+                let alloc = job.requested_nodes.max(min_alloc).min(self.cfg.cluster.nodes);
+                let dur = job.walltime_estimate;
+                // Find the earliest start ≥ now where `alloc` nodes stay
+                // free for `dur`, given the profile.
+                let _ = order_pos;
+                let start = earliest_slot(free_now, &events, now, alloc as i64, dur);
+                if start == now {
+                    // Can the job actually start (power check happens only
+                    // at real starts)? `choose_alloc` already guarantees
+                    // the class minimum when it returns Some.
+                    if let Some(actual) = self.choose_alloc(idx, now) {
+                        let pos = self
+                            .pending
+                            .iter()
+                            .position(|&p| p == idx)
+                            .expect("job is pending");
+                        self.pending.remove(pos);
+                        let work = job.work;
+                        self.start_job(idx, actual, work, now);
+                        continue 'restart;
+                    }
+                    // Power-blocked: fall through and reserve instead.
+                }
+                // Record the reservation in the profile.
+                if start == now {
+                    free_now -= alloc as i64;
+                } else {
+                    events.push((start, -(alloc as i64)));
+                }
+                events.push((start + dur, alloc as i64));
+            }
+            return;
+        }
+    }
+
+    /// EASY backfilling around a blocked head job.
+    fn backfill(&mut self, head_idx: usize, now: SimTime) {
+        let head_job = &self.jobs[head_idx];
+        let (head_min, _) = head_job.bounds();
+        let head_need = head_job.requested_nodes.max(head_min);
+
+        // Shadow time: when will enough nodes be free for the head?
+        // Uses exact remaining runtimes of running jobs.
+        let mut frees: Vec<(SimTime, u32)> = self
+            .running
+            .iter()
+            .map(|r| {
+                let remaining = SimDuration::from_secs(
+                    (r.work_remaining
+                        - (now - r.last_update).as_secs().max(0.0) * r.rate)
+                        .max(0.0)
+                        / r.rate,
+                );
+                (now + remaining, r.alloc)
+            })
+            .collect();
+        frees.sort_by_key(|a| a.0);
+        let mut avail = self.alloc.free();
+        let mut shadow = now;
+        let mut iter = frees.iter();
+        while avail < head_need {
+            match iter.next() {
+                Some(&(t, n)) => {
+                    avail += n;
+                    shadow = t;
+                }
+                None => {
+                    // Head can never fit (bigger than cluster) — guarded at
+                    // submit, but be safe.
+                    return;
+                }
+            }
+        }
+        // Nodes spare at the shadow time after the head takes its share.
+        // Consumed as backfills that outlive the shadow are admitted, so a
+        // single pass cannot overdraw it and delay the head.
+        let mut spare = avail - head_need;
+
+        // Try to backfill later pending jobs.
+        let mut p = 0;
+        while p < self.pending.len() {
+            let idx = self.pending[p];
+            if idx == head_idx {
+                p += 1;
+                continue;
+            }
+            // Skip jobs ahead of the head (can't happen: head is first
+            // eligible) and ineligible jobs.
+            if !self.eligible(idx, now) {
+                p += 1;
+                continue;
+            }
+            let job = &self.jobs[idx];
+            if let Some(alloc) = self.choose_alloc(idx, now) {
+                let fits_before_shadow = now + job.walltime_estimate <= shadow;
+                let fits_in_spare = alloc <= spare;
+                if fits_before_shadow || fits_in_spare {
+                    if !fits_before_shadow {
+                        // This job holds nodes past the shadow: it draws
+                        // down the spare pool.
+                        spare -= alloc;
+                    }
+                    self.pending.remove(p);
+                    let work = job.work;
+                    self.start_job(idx, alloc, work, now);
+                    continue; // same p now points at the next job
+                }
+            }
+            p += 1;
+        }
+    }
+
+    /// Injects node failures for the elapsed tick: the per-node hazard is
+    /// tick/MTBF; each failure strikes a uniformly random node. A busy
+    /// node kills its job.
+    fn inject_failures(&mut self, now: SimTime) {
+        let Some(model) = self.cfg.failures.clone() else {
+            return;
+        };
+        // Take the stream out to sidestep aliasing with &mut self calls.
+        let Some(mut rng) = self.failure_rng.take() else {
+            return;
+        };
+        let lambda = self.cfg.cluster.nodes as f64 * self.cfg.tick.as_secs()
+            / model.node_mtbf.as_secs();
+        let failures = rng.poisson(lambda);
+        for _ in 0..failures {
+            let node = rng.uniform_u64(self.cfg.cluster.nodes as u64) as u32;
+            let busy = self.alloc.busy();
+            self.total_failures += 1;
+            // The node is busy with probability busy/total; map the node
+            // index onto the busy range deterministically.
+            if node < busy {
+                // Pick the victim job weighted by allocation size.
+                let mut cursor = node;
+                let mut victim = None;
+                for (pos, run) in self.running.iter().enumerate() {
+                    if cursor < run.alloc {
+                        victim = Some(pos);
+                        break;
+                    }
+                    cursor -= run.alloc;
+                }
+                if let Some(pos) = victim {
+                    self.fail_job(pos, now);
+                }
+            }
+            // The failed node goes down for the repair window: take it out
+            // of the free pool (a just-killed job freed at least one).
+            if self.alloc.free() > 0 {
+                self.alloc.claim(1);
+                self.queue.schedule(now + model.mttr, Ev::NodeRepaired);
+            }
+        }
+        self.failure_rng = Some(rng);
+    }
+
+    /// Kills a running job after a node failure: checkpointable jobs roll
+    /// back to the segment boundary; others lose everything and requeue.
+    fn fail_job(&mut self, pos: usize, now: SimTime) {
+        Self::progress(&mut self.running[pos], now);
+        self.close_segment(pos, now);
+        let run = self.running.remove(pos);
+        let job = &self.jobs[run.idx];
+        self.alloc.release(run.alloc);
+        self.running_power -= job.power_at(run.alloc);
+        self.queue.cancel(run.finish_ev);
+        self.books[run.idx].restarts += 1;
+        if job.checkpointable {
+            // Roll back to the last periodic checkpoint: lose only the
+            // work since the last whole interval of this segment. The
+            // restart overhead is charged once, at resume.
+            let interval = self
+                .cfg
+                .checkpoint
+                .as_ref()
+                .map(|c| c.interval.as_secs())
+                .unwrap_or(3600.0);
+            let interval_work = (interval * run.rate).max(1e-9);
+            let done_in_segment = (run.seg_start_work - run.work_remaining).max(0.0);
+            let covered = (done_in_segment / interval_work).floor() * interval_work;
+            let resume_work = run.seg_start_work - covered;
+            self.suspended.push((run.idx, resume_work));
+        } else {
+            // Total loss: back to pending with full work (start_job always
+            // begins rigid restarts from job.work).
+            self.pending_insert(run.idx);
+        }
+    }
+
+    /// Consults the job-side §3.2 protocol: is a grow offer worth the
+    /// reconfiguration cost given the job's remaining work?
+    fn grow_accepted(&mut self, pos: usize, proposed: u32, now: SimTime) -> bool {
+        Self::progress(&mut self.running[pos], now);
+        let run = &self.running[pos];
+        let job = &self.jobs[run.idx];
+        crate::malleable::evaluate_grow(
+            job.speedup,
+            run.alloc,
+            proposed,
+            job.efficient_nodes.max(1),
+            run.work_remaining,
+            self.cfg.reshape_cost,
+        ) == crate::malleable::OfferDecision::Accept
+    }
+
+    /// Hourly tick: budget enforcement, checkpoint policy, malleable
+    /// growth.
+    fn tick(&mut self, now: SimTime) {
+        self.tick_scheduled = false;
+        self.inject_failures(now);
+        // --- Checkpoint policy: CI-driven suspends (§3.3).
+        if let (Some(cfg), Some(ci)) = (self.cfg.checkpoint.clone(), self.ci_at(now)) {
+            if ci > cfg.suspend_threshold_fraction * self.trace_mean {
+                let mut pos = 0;
+                while pos < self.running.len() {
+                    let run = &mut self.running[pos];
+                    let job = &self.jobs[run.idx];
+                    Self::progress(run, now);
+                    let remaining = SimDuration::from_secs(run.work_remaining / run.rate);
+                    if job.checkpointable && remaining > cfg.min_remaining {
+                        self.suspend(pos, now);
+                    } else {
+                        pos += 1;
+                    }
+                }
+            }
+        }
+
+        // --- Power budget enforcement.
+        if let Some(budget) = self.budget_at(now) {
+            // Shrink malleable jobs first.
+            if self.running_power > budget && self.cfg.enable_malleability {
+                for pos in 0..self.running.len() {
+                    if self.running_power <= budget {
+                        break;
+                    }
+                    let idx = self.running[pos].idx;
+                    let job = &self.jobs[idx];
+                    let (min, _) = job.bounds();
+                    if job.class.is_malleable() && self.running[pos].alloc > min {
+                        // Shrink as far as needed, at most to min.
+                        let over = self.running_power - budget;
+                        let sheddable =
+                            (over.watts() / job.power_per_node.watts()).ceil() as u32;
+                        let new_alloc = self.running[pos].alloc.saturating_sub(sheddable).max(min);
+                        if new_alloc < self.running[pos].alloc {
+                            self.reshape(pos, new_alloc, now);
+                        }
+                    }
+                }
+            }
+            // Then suspend checkpointable jobs (largest power first).
+            if self.running_power > budget && self.cfg.checkpoint.is_some() {
+                loop {
+                    if self.running_power <= budget {
+                        break;
+                    }
+                    let candidate = self
+                        .running
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, r)| self.jobs[r.idx].checkpointable)
+                        .max_by(|a, b| {
+                            self.jobs[a.1.idx]
+                                .power_at(a.1.alloc)
+                                .cmp(&self.jobs[b.1.idx].power_at(b.1.alloc))
+                        })
+                        .map(|(pos, _)| pos);
+                    match candidate {
+                        Some(pos) => self.suspend(pos, now),
+                        None => break,
+                    }
+                }
+            }
+            // Growth: malleable jobs absorb new headroom.
+            if self.cfg.enable_malleability {
+                for pos in 0..self.running.len() {
+                    let idx = self.running[pos].idx;
+                    let job = &self.jobs[idx];
+                    let (_, max) = job.bounds();
+                    let cur = self.running[pos].alloc;
+                    if !job.class.is_malleable() || cur >= max {
+                        continue;
+                    }
+                    let headroom = budget - self.running_power;
+                    if headroom <= Power::ZERO {
+                        break;
+                    }
+                    let power_fit =
+                        (headroom.watts() / job.power_per_node.watts()) as u32;
+                    let useful_cap = job.efficient_nodes.max(1);
+                    let grow = (max - cur)
+                        .min(self.alloc.free())
+                        .min(power_fit)
+                        .min(useful_cap.saturating_sub(cur));
+                    if grow > 0 && self.grow_accepted(pos, cur + grow, now) {
+                        self.reshape(pos, cur + grow, now);
+                    }
+                }
+            }
+        } else if self.cfg.enable_malleability {
+            // No budget: malleable jobs can still absorb free nodes.
+            for pos in 0..self.running.len() {
+                let idx = self.running[pos].idx;
+                let job = &self.jobs[idx];
+                let (_, max) = job.bounds();
+                let cur = self.running[pos].alloc;
+                if !job.class.is_malleable() || cur >= max {
+                    continue;
+                }
+                let useful_cap = job.efficient_nodes.max(1);
+                let grow = (max - cur)
+                    .min(self.alloc.free())
+                    .min(useful_cap.saturating_sub(cur));
+                if grow > 0 && self.grow_accepted(pos, cur + grow, now) {
+                    self.reshape(pos, cur + grow, now);
+                }
+            }
+        }
+
+        self.try_schedule(now);
+        self.maybe_schedule_tick(now);
+    }
+
+    fn work_outstanding(&self) -> bool {
+        !self.pending.is_empty()
+            || !self.running.is_empty()
+            || !self.suspended.is_empty()
+            || self.submitted < self.jobs.len()
+    }
+
+    fn needs_ticks(&self) -> bool {
+        // Ticks matter only when time-varying machinery is active.
+        (self.cfg.power_budget.is_some()
+            || self.cfg.checkpoint.is_some()
+            || self.cfg.enable_malleability
+            || self.cfg.failures.is_some()
+            || matches!(self.cfg.policy, Policy::CarbonAware(_)))
+            && self.work_outstanding()
+    }
+
+    fn maybe_schedule_tick(&mut self, now: SimTime) {
+        if !self.tick_scheduled && self.needs_ticks() {
+            self.queue.schedule(now + self.cfg.tick, Ev::Tick);
+            self.tick_scheduled = true;
+        }
+    }
+
+    fn run(mut self) -> SimOutcome {
+        for (i, job) in self.jobs.iter().enumerate() {
+            self.queue.schedule(job.submit, Ev::Submit(i));
+        }
+        self.maybe_schedule_tick(SimTime::ZERO);
+
+        let mut steps = 0u64;
+        while let Some((t, ev)) = self.queue.pop() {
+            steps += 1;
+            if steps > self.cfg.max_steps {
+                break;
+            }
+            self.account(t);
+            match ev {
+                Ev::Submit(idx) => {
+                    self.submitted += 1;
+                    let job = &self.jobs[idx];
+                    let (min, _) = job.bounds();
+                    // A job whose minimum allocation can never fit the
+                    // best-ever power budget would pend forever: reject.
+                    let power_feasible = match self.max_budget {
+                        Some(max) => job.power_at(min) <= max,
+                        None => true,
+                    };
+                    let admitted = match &self.cfg.queues {
+                        Some(qs) => match qs.classify(job) {
+                            Some(q) => {
+                                self.priorities[idx] = q.priority;
+                                true
+                            }
+                            None => false,
+                        },
+                        None => true,
+                    };
+                    if min > self.cfg.cluster.nodes || !admitted || !power_feasible {
+                        self.books[idx].rejected = true;
+                        self.rejected += 1;
+                    } else {
+                        self.pending_insert(idx);
+                        self.try_schedule(t);
+                    }
+                    self.maybe_schedule_tick(t);
+                }
+                Ev::Finish(id) => {
+                    self.finish_job(id, t);
+                    self.try_schedule(t);
+                }
+                Ev::Tick => self.tick(t),
+                Ev::NodeRepaired => {
+                    self.alloc.release(1);
+                    self.try_schedule(t);
+                }
+            }
+        }
+
+        // Build records.
+        let mut records = Vec::with_capacity(self.completed);
+        for (idx, book) in self.books.iter().enumerate() {
+            if let (Some(start), Some(end)) = (book.start, book.end) {
+                let job = &self.jobs[idx];
+                records.push(JobRecord {
+                    id: job.id,
+                    user: job.user,
+                    submit: job.submit,
+                    start,
+                    end,
+                    segments: book.segments.clone(),
+                    suspensions: book.suspensions,
+                    reshapes: book.reshapes,
+                    restarts: book.restarts,
+                });
+            }
+        }
+        records.sort_by_key(|a| a.id);
+        let unfinished = self.jobs.len() - records.len();
+        SimOutcome::from_records(
+            records,
+            unfinished,
+            self.cfg.cluster.nodes,
+            self.cfg.carbon_trace.as_ref(),
+            self.idle_energy,
+            self.idle_carbon,
+            self.violation_seconds,
+        )
+    }
+}
+
+/// Earliest time ≥ `now` at which `alloc` nodes remain continuously free
+/// for `dur`, given `free_now` free nodes and a list of (time, delta)
+/// availability events (positive = nodes freed, negative = reservation).
+fn earliest_slot(
+    free_now: i64,
+    events: &[(SimTime, i64)],
+    now: SimTime,
+    alloc: i64,
+    dur: SimDuration,
+) -> SimTime {
+    let mut evs: Vec<(SimTime, i64)> = events.iter().copied().filter(|e| e.0 > now).collect();
+    evs.sort_by_key(|a| a.0);
+    // Candidate start times: now and every event time.
+    let mut candidates: Vec<SimTime> = Vec::with_capacity(evs.len() + 1);
+    candidates.push(now);
+    candidates.extend(evs.iter().map(|e| e.0));
+    for &t0 in &candidates {
+        let t_end = t0 + dur;
+        // Free nodes at t0.
+        let mut free = free_now
+            + evs
+                .iter()
+                .take_while(|e| e.0 <= t0)
+                .map(|e| e.1)
+                .sum::<i64>();
+        if free < alloc {
+            continue;
+        }
+        // Check the window stays feasible.
+        let mut ok = true;
+        for e in evs.iter().skip_while(|e| e.0 <= t0) {
+            if e.0 >= t_end {
+                break;
+            }
+            free += e.1;
+            if free < alloc {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            return t0;
+        }
+    }
+    // No feasible window found (should not happen when alloc ≤ cluster);
+    // fall back to after the last event.
+    evs.last().map(|e| e.0).unwrap_or(now)
+}
+
+/// Runs the simulator over a job list.
+///
+/// ```
+/// use sustain_scheduler::cluster::Cluster;
+/// use sustain_scheduler::sim::{simulate, SimConfig};
+/// use sustain_sim_core::time::{SimDuration, SimTime};
+/// use sustain_workload::job::JobBuilder;
+///
+/// let job = JobBuilder::new(1, SimTime::ZERO, 4, SimDuration::from_hours(2.0)).build();
+/// let out = simulate(&[job], &SimConfig::easy(Cluster::new(8)));
+/// assert_eq!(out.records.len(), 1);
+/// assert!((out.records[0].span().as_hours() - 2.0).abs() < 1e-9);
+/// ```
+pub fn simulate(jobs: &[Job], cfg: &SimConfig) -> SimOutcome {
+    Sim::new(jobs, cfg).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sustain_sim_core::series::TimeSeries;
+    use sustain_workload::job::{JobBuilder, JobClass};
+
+    fn rigid(id: u64, submit_h: f64, nodes: u32, runtime_h: f64) -> Job {
+        JobBuilder::new(
+            id,
+            SimTime::from_hours(submit_h),
+            nodes,
+            SimDuration::from_hours(runtime_h),
+        )
+        .power_per_node(Power::from_watts(500.0))
+        .build()
+    }
+
+    #[test]
+    fn single_job_runs_to_completion() {
+        let jobs = vec![rigid(1, 0.0, 4, 2.0)];
+        let out = simulate(&jobs, &SimConfig::easy(Cluster::new(8)));
+        assert_eq!(out.records.len(), 1);
+        assert_eq!(out.unfinished, 0);
+        let r = &out.records[0];
+        assert_eq!(r.wait(), SimDuration::ZERO);
+        assert!((r.span().as_hours() - 2.0).abs() < 1e-9);
+        assert_eq!(r.segments.len(), 1);
+        assert_eq!(r.segments[0].nodes, 4);
+        // Energy: 4 × 500 W × 2 h = 4 kWh.
+        assert!((r.energy().kwh() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fcfs_queues_when_full() {
+        // 8-node cluster; two 8-node jobs must serialize.
+        let jobs = vec![rigid(1, 0.0, 8, 2.0), rigid(2, 0.0, 8, 1.0)];
+        let out = simulate(
+            &jobs,
+            &SimConfig {
+                policy: Policy::Fcfs,
+                ..SimConfig::easy(Cluster::new(8))
+            },
+        );
+        let r2 = &out.records[1];
+        assert!((r2.wait().as_hours() - 2.0).abs() < 1e-9);
+        assert!((out.makespan.as_hours() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn easy_backfills_small_job() {
+        // Cluster 8. Job1 takes 6 nodes for 4 h. Job2 wants 8 (blocked
+        // until t=4). Job3 wants 2 nodes for 1 h → backfills immediately
+        // (2 ≤ free and finishes before the shadow anyway).
+        let jobs = vec![
+            rigid(1, 0.0, 6, 4.0),
+            rigid(2, 0.1, 8, 1.0),
+            rigid(3, 0.2, 2, 1.0),
+        ];
+        let out = simulate(&jobs, &SimConfig::easy(Cluster::new(8)));
+        let r3 = out.records.iter().find(|r| r.id == JobId(3)).unwrap();
+        assert!(
+            r3.start.as_hours() < 0.3,
+            "job3 should backfill, started at {}",
+            r3.start
+        );
+        // FCFS would have made job3 wait behind job2 until t=4.
+        let fcfs = simulate(
+            &jobs,
+            &SimConfig {
+                policy: Policy::Fcfs,
+                ..SimConfig::easy(Cluster::new(8))
+            },
+        );
+        let r3f = fcfs.records.iter().find(|r| r.id == JobId(3)).unwrap();
+        assert!(r3f.start.as_hours() >= 4.0);
+    }
+
+    #[test]
+    fn backfill_spare_not_overcommitted() {
+        // All candidates queue while jobA fills the cluster, so one
+        // scheduling pass (jobA's finish at t=1) sees them all. Then:
+        // jobB takes 4 nodes until t=5; the head (job2) needs 8 → shadow
+        // t=5 with spare 2. Jobs 3 and 4 (2 nodes × 8 h) each fit the
+        // spare alone, but both together would overdraw it and delay the
+        // head past t=5.
+        let jobs = vec![
+            rigid(1, 0.0, 10, 1.0),  // fills the cluster until t=1
+            rigid(5, 0.05, 4, 4.0),  // jobB: 4 nodes, t=1..5
+            rigid(2, 0.1, 8, 1.0),   // the head reservation
+            rigid(3, 0.2, 2, 8.0),
+            rigid(4, 0.3, 2, 8.0),
+        ];
+        let out = simulate(&jobs, &SimConfig::easy(Cluster::new(10)));
+        let r2 = out.records.iter().find(|r| r.id == JobId(2)).unwrap();
+        assert!(
+            (r2.start.as_hours() - 5.0).abs() < 1e-6,
+            "head delayed to {} by overcommitted spare",
+            r2.start
+        );
+    }
+
+    #[test]
+    fn backfill_does_not_delay_head_reservation() {
+        // Cluster 8. Job1: 6 nodes, 4 h. Job2 (head): 8 nodes → shadow t=4.
+        // Job3: 4 nodes, 8 h — would push the head past t=4 (only 2 spare),
+        // must NOT backfill.
+        let jobs = vec![
+            rigid(1, 0.0, 6, 4.0),
+            rigid(2, 0.1, 8, 1.0),
+            rigid(3, 0.2, 4, 8.0),
+        ];
+        let out = simulate(&jobs, &SimConfig::easy(Cluster::new(8)));
+        let r2 = out.records.iter().find(|r| r.id == JobId(2)).unwrap();
+        assert!(
+            (r2.start.as_hours() - 4.0).abs() < 1e-6,
+            "head delayed to {}",
+            r2.start
+        );
+        let r3 = out.records.iter().find(|r| r.id == JobId(3)).unwrap();
+        assert!(r3.start >= r2.start);
+    }
+
+    #[test]
+    fn oversized_job_rejected_not_hung() {
+        let jobs = vec![rigid(1, 0.0, 64, 1.0), rigid(2, 0.0, 4, 1.0)];
+        let out = simulate(&jobs, &SimConfig::easy(Cluster::new(8)));
+        assert_eq!(out.unfinished, 1);
+        assert_eq!(out.records.len(), 1);
+        assert_eq!(out.records[0].id, JobId(2));
+    }
+
+    #[test]
+    fn power_budget_limits_concurrency() {
+        // Each job: 4 nodes × 500 W = 2 kW. Budget 3 kW → jobs serialize.
+        let jobs = vec![rigid(1, 0.0, 4, 1.0), rigid(2, 0.0, 4, 1.0)];
+        let budget = TimeSeries::constant(
+            SimTime::ZERO,
+            SimDuration::from_hours(1.0),
+            3000.0,
+            100,
+        );
+        let out = simulate(
+            &jobs,
+            &SimConfig {
+                power_budget: Some(budget),
+                ..SimConfig::easy(Cluster::new(16))
+            },
+        );
+        let r2 = out.records.iter().find(|r| r.id == JobId(2)).unwrap();
+        assert!(
+            r2.start.as_hours() >= 1.0,
+            "job2 must wait for power, started {}",
+            r2.start
+        );
+        assert_eq!(out.budget_violation_seconds, 0.0);
+    }
+
+    #[test]
+    fn utilization_and_idle_energy_accounted() {
+        let jobs = vec![rigid(1, 0.0, 4, 2.0)];
+        let cluster = Cluster::new(8).with_idle_power(Power::from_watts(100.0));
+        let out = simulate(&jobs, &SimConfig::easy(cluster));
+        // 4 of 8 nodes busy for the whole 2 h makespan → 50 %.
+        assert!((out.utilization - 0.5).abs() < 1e-9);
+        // Idle: 4 idle nodes × 100 W × 2 h = 0.8 kWh.
+        assert!((out.idle_energy.kwh() - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let cfg = sustain_workload::synth::WorkloadConfig::default();
+        let jobs =
+            sustain_workload::synth::generate(&cfg, SimDuration::from_hours(48.0), 5);
+        let a = simulate(&jobs, &SimConfig::easy(Cluster::new(256)));
+        let b = simulate(&jobs, &SimConfig::easy(Cluster::new(256)));
+        assert_eq!(a.records.len(), b.records.len());
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.utilization, b.utilization);
+    }
+
+    #[test]
+    fn synthetic_trace_completes_under_easy() {
+        let cfg = sustain_workload::synth::WorkloadConfig::default();
+        let jobs =
+            sustain_workload::synth::generate(&cfg, SimDuration::from_hours(24.0 * 7.0), 9);
+        let out = simulate(&jobs, &SimConfig::easy(Cluster::new(600)));
+        assert_eq!(out.unfinished, 0, "all jobs should finish");
+        assert!(out.utilization > 0.05 && out.utilization < 1.0);
+        // No job may ever hold more nodes than the cluster.
+        for r in &out.records {
+            for s in &r.segments {
+                assert!(s.nodes <= 600);
+            }
+        }
+    }
+
+    #[test]
+    fn malleable_job_grows_into_free_nodes() {
+        let malleable = JobBuilder::new(
+            1,
+            SimTime::ZERO,
+            4,
+            SimDuration::from_hours(8.0),
+        )
+        .class(JobClass::Malleable {
+            min_nodes: 2,
+            max_nodes: 16,
+        })
+        .efficient_nodes(16)
+        .build();
+        let mut cfg = SimConfig::easy(Cluster::new(16));
+        cfg.enable_malleability = true;
+        let out = simulate(&[malleable], &cfg);
+        let r = &out.records[0];
+        assert!(r.reshapes > 0, "job should have grown");
+        // Growth speeds the job up beyond its 8 h @ 4-node runtime.
+        assert!(
+            r.span().as_hours() < 8.0,
+            "span {} should beat the rigid runtime",
+            r.span()
+        );
+        assert_eq!(out.unfinished, 0);
+    }
+
+    #[test]
+    fn checkpoint_suspends_during_high_carbon() {
+        // CI: mean 200; hours 2-9 are 400 (high) → suspend threshold hit.
+        let mut ci = vec![100.0; 2];
+        ci.extend(vec![400.0; 7]);
+        ci.extend(vec![100.0; 15]);
+        let trace = CarbonTrace::new(
+            "t",
+            TimeSeries::new(SimTime::ZERO, SimDuration::from_hours(1.0), ci),
+        );
+        let job = JobBuilder::new(1, SimTime::ZERO, 4, SimDuration::from_hours(6.0))
+            .checkpointable(true)
+            .build();
+        let mut cfg = SimConfig::easy(Cluster::new(8));
+        cfg.carbon_trace = Some(trace);
+        cfg.checkpoint = Some(CheckpointCfg::default());
+        let out = simulate(&[job], &cfg);
+        let r = &out.records[0];
+        assert!(r.suspensions >= 1, "job should suspend in the brown window");
+        assert!(r.segments.len() >= 2);
+        // Span exceeds pure compute time because of the suspension gap.
+        assert!(r.span() > r.compute_time());
+        assert_eq!(out.unfinished, 0);
+    }
+
+    #[test]
+    fn carbon_aware_gate_delays_long_jobs_to_green_windows() {
+        // CI: first 6 h dirty (400), then green (100). Mean ≈ 175..250.
+        let mut ci = vec![400.0; 6];
+        ci.extend(vec![100.0; 42]);
+        let trace = CarbonTrace::new(
+            "t",
+            TimeSeries::new(SimTime::ZERO, SimDuration::from_hours(1.0), ci),
+        );
+        let long_job = JobBuilder::new(1, SimTime::ZERO, 4, SimDuration::from_hours(5.0))
+            .walltime(SimDuration::from_hours(8.0))
+            .build();
+        let mut cfg = SimConfig::easy(Cluster::new(8));
+        cfg.carbon_trace = Some(trace);
+        cfg.policy = Policy::CarbonAware(CarbonAwareCfg::default());
+        let out = simulate(&[long_job], &cfg);
+        let r = &out.records[0];
+        assert!(
+            r.start.as_hours() >= 6.0,
+            "long job should wait for the green window, started {}",
+            r.start
+        );
+    }
+
+    #[test]
+    fn carbon_aware_gate_lets_short_jobs_through() {
+        let mut ci = vec![400.0; 6];
+        ci.extend(vec![100.0; 42]);
+        let trace = CarbonTrace::new(
+            "t",
+            TimeSeries::new(SimTime::ZERO, SimDuration::from_hours(1.0), ci),
+        );
+        let short_job = JobBuilder::new(1, SimTime::ZERO, 4, SimDuration::from_hours(0.5))
+            .walltime(SimDuration::from_hours(1.0))
+            .build();
+        let mut cfg = SimConfig::easy(Cluster::new(8));
+        cfg.carbon_trace = Some(trace);
+        cfg.policy = Policy::CarbonAware(CarbonAwareCfg::default());
+        let out = simulate(&[short_job], &cfg);
+        assert_eq!(out.records[0].start, SimTime::ZERO);
+    }
+
+    #[test]
+    fn max_delay_bounds_carbon_waiting() {
+        // Permanently dirty grid: the gate must still release jobs after
+        // max_delay.
+        let trace = CarbonTrace::new(
+            "t",
+            TimeSeries::new(
+                SimTime::ZERO,
+                SimDuration::from_hours(1.0),
+                vec![400.0; 200],
+            ),
+        );
+        let job = JobBuilder::new(1, SimTime::ZERO, 4, SimDuration::from_hours(5.0))
+            .walltime(SimDuration::from_hours(8.0))
+            .build();
+        let mut cfg = SimConfig::easy(Cluster::new(8));
+        cfg.carbon_trace = Some(trace);
+        cfg.policy = Policy::CarbonAware(CarbonAwareCfg {
+            max_delay: SimDuration::from_hours(12.0),
+            ..CarbonAwareCfg::default()
+        });
+        let out = simulate(&[job], &cfg);
+        assert_eq!(out.unfinished, 0);
+        let r = &out.records[0];
+        assert!(r.start.as_hours() <= 13.0, "started {}", r.start);
+        assert!(r.start.as_hours() >= 11.0, "started {}", r.start);
+    }
+
+    #[test]
+    fn failures_restart_jobs_and_repair_nodes() {
+        // Aggressive failures: per-node MTBF of 2 days on an 8-node
+        // cluster running a long job.
+        let job = JobBuilder::new(1, SimTime::ZERO, 8, SimDuration::from_hours(48.0))
+            .walltime(SimDuration::from_hours(96.0))
+            .build();
+        let mut cfg = SimConfig::easy(Cluster::new(8));
+        cfg.failures = Some(FailureModel {
+            node_mtbf: SimDuration::from_days(2.0),
+            mttr: SimDuration::from_hours(4.0),
+            seed: 7,
+        });
+        let out = simulate(&[job], &cfg);
+        assert_eq!(out.unfinished, 0, "job must eventually complete");
+        let r = &out.records[0];
+        assert!(r.restarts > 0, "48 h on failing hardware must hit a failure");
+        // Non-checkpointable: every restart redoes the full 48 h, so the
+        // span is at least restarts+1 full runs minus the last partials.
+        assert!(r.span().as_hours() > 48.0);
+    }
+
+    #[test]
+    fn checkpointable_jobs_lose_less_to_failures() {
+        let mk = |ckpt: bool| {
+            JobBuilder::new(1, SimTime::ZERO, 8, SimDuration::from_hours(48.0))
+                .walltime(SimDuration::from_hours(96.0))
+                .checkpointable(ckpt)
+                .build()
+        };
+        let run_with = |job| {
+            let mut cfg = SimConfig::easy(Cluster::new(8));
+            cfg.failures = Some(FailureModel {
+                node_mtbf: SimDuration::from_days(2.0),
+                mttr: SimDuration::from_hours(1.0),
+                seed: 11,
+            });
+            cfg.checkpoint = Some(CheckpointCfg {
+                // Disable CI-driven behaviour; we only want failure
+                // recovery overheads here.
+                suspend_threshold_fraction: f64::INFINITY,
+                resume_threshold_fraction: f64::INFINITY,
+                ..CheckpointCfg::default()
+            });
+            simulate(&[job], &cfg)
+        };
+        let plain = run_with(mk(false));
+        let ckpt = run_with(mk(true));
+        assert_eq!(plain.unfinished, 0);
+        assert_eq!(ckpt.unfinished, 0);
+        // Same failure seed: the checkpointable variant wastes less
+        // compute redoing lost work.
+        assert!(
+            ckpt.records[0].compute_time() <= plain.records[0].compute_time(),
+            "ckpt {} vs plain {}",
+            ckpt.records[0].compute_time(),
+            plain.records[0].compute_time()
+        );
+    }
+
+    #[test]
+    fn reliable_hardware_has_no_restarts() {
+        let jobs = vec![rigid(1, 0.0, 4, 10.0)];
+        let out = simulate(&jobs, &SimConfig::easy(Cluster::new(8)));
+        assert_eq!(out.records[0].restarts, 0);
+    }
+
+    #[test]
+    fn power_infeasible_job_rejected_not_pending_forever() {
+        // 100-node job × 500 W = 50 kW demand, but the budget never
+        // exceeds 10 kW: the job must be rejected at submit (not pend
+        // forever, burning ticks to the step cap).
+        let jobs = vec![rigid(1, 0.0, 100, 1.0), rigid(2, 0.0, 4, 1.0)];
+        let budget = TimeSeries::constant(
+            SimTime::ZERO,
+            SimDuration::from_hours(1.0),
+            10_000.0,
+            48,
+        );
+        let mut cfg = SimConfig::easy(Cluster::new(128));
+        cfg.power_budget = Some(budget);
+        cfg.max_steps = 100_000;
+        let out = simulate(&jobs, &cfg);
+        assert_eq!(out.unfinished, 1);
+        assert_eq!(out.records.len(), 1);
+        assert_eq!(out.records[0].id, JobId(2));
+        // And the run terminated quickly (no runaway tick loop): the
+        // makespan is the small job's completion.
+        assert!(out.makespan.as_hours() <= 2.0);
+    }
+
+    #[test]
+    fn fair_share_demotes_heavy_user() {
+        // User 0 hogs the machine with job1; then user 0 and user 1 submit
+        // identical jobs while it runs. Under fair-share, user 1 goes
+        // first once nodes free, despite user 0 submitting earlier.
+        let mk = |id: u64, user: u32, submit_h: f64| {
+            JobBuilder::new(
+                id,
+                SimTime::from_hours(submit_h),
+                8,
+                SimDuration::from_hours(1.0),
+            )
+            .user(user)
+            .build()
+        };
+        let jobs = vec![mk(1, 0, 0.0), mk(2, 0, 0.1), mk(3, 1, 0.2)];
+        let mut cfg = SimConfig::easy(Cluster::new(8));
+        cfg.fair_share = Some(FairShareCfg::default());
+        let out = simulate(&jobs, &cfg);
+        let r2 = out.records.iter().find(|r| r.id == JobId(2)).unwrap();
+        let r3 = out.records.iter().find(|r| r.id == JobId(3)).unwrap();
+        assert!(
+            r3.start < r2.start,
+            "light user's job3 ({}) should beat heavy user's job2 ({})",
+            r3.start,
+            r2.start
+        );
+        // Without fair-share, FIFO order holds.
+        let plain = simulate(&jobs, &SimConfig::easy(Cluster::new(8)));
+        let p2 = plain.records.iter().find(|r| r.id == JobId(2)).unwrap();
+        let p3 = plain.records.iter().find(|r| r.id == JobId(3)).unwrap();
+        assert!(p2.start < p3.start);
+    }
+
+    #[test]
+    fn fair_share_usage_decays() {
+        // After a long idle gap, past usage decays away and FIFO returns.
+        let mk = |id: u64, user: u32, submit_h: f64| {
+            JobBuilder::new(
+                id,
+                SimTime::from_hours(submit_h),
+                8,
+                SimDuration::from_hours(1.0),
+            )
+            .user(user)
+            .build()
+        };
+        // User 0 used the machine long ago (job1 at t=0); hundreds of
+        // half-lives later both users submit.
+        let jobs = vec![mk(1, 0, 0.0), mk(2, 0, 10_000.0), mk(3, 1, 10_000.1)];
+        let mut cfg = SimConfig::easy(Cluster::new(8));
+        cfg.fair_share = Some(FairShareCfg {
+            half_life: SimDuration::from_hours(1.0),
+        });
+        let out = simulate(&jobs, &cfg);
+        let r2 = out.records.iter().find(|r| r.id == JobId(2)).unwrap();
+        let r3 = out.records.iter().find(|r| r.id == JobId(3)).unwrap();
+        assert!(
+            r2.start <= r3.start,
+            "decayed usage should restore FIFO: job2 {} vs job3 {}",
+            r2.start,
+            r3.start
+        );
+    }
+
+    #[test]
+    fn conservative_backfill_does_not_delay_any_reservation() {
+        // Cluster 8. Job1: 6 nodes, 4 h. Job2: 8 nodes (reserved at t=4).
+        // Job3: 2 nodes, walltime 8 h — EASY would backfill it into the
+        // 2 spare nodes; conservative also allows it (it delays nothing:
+        // job2 needs all 8 at t=4, but job3 uses spare nodes until t=4?
+        // No — job3 holds 2 nodes until t≈8, which WOULD delay job2, so
+        // conservative must NOT start it now).
+        let jobs = vec![
+            rigid(1, 0.0, 6, 4.0),
+            rigid(2, 0.1, 8, 1.0),
+            rigid(3, 0.2, 2, 8.0),
+        ];
+        let out = simulate(
+            &jobs,
+            &SimConfig {
+                policy: Policy::ConservativeBackfill,
+                ..SimConfig::easy(Cluster::new(8))
+            },
+        );
+        assert_eq!(out.unfinished, 0);
+        let r2 = out.records.iter().find(|r| r.id == JobId(2)).unwrap();
+        let r3 = out.records.iter().find(|r| r.id == JobId(3)).unwrap();
+        assert!(
+            (r2.start.as_hours() - 4.0).abs() < 1e-6,
+            "head reservation delayed: {}",
+            r2.start
+        );
+        assert!(r3.start >= r2.start, "job3 jumped ahead and delayed job2");
+    }
+
+    #[test]
+    fn conservative_backfills_truly_harmless_jobs() {
+        // Same as above but job3 fits entirely before the shadow (1 h
+        // walltime): conservative lets it in.
+        let jobs = vec![
+            rigid(1, 0.0, 6, 4.0),
+            rigid(2, 0.1, 8, 1.0),
+            rigid(3, 0.2, 2, 1.0),
+        ];
+        let out = simulate(
+            &jobs,
+            &SimConfig {
+                policy: Policy::ConservativeBackfill,
+                ..SimConfig::easy(Cluster::new(8))
+            },
+        );
+        let r3 = out.records.iter().find(|r| r.id == JobId(3)).unwrap();
+        assert!(r3.start.as_hours() < 0.3, "harmless job not backfilled");
+        let r2 = out.records.iter().find(|r| r.id == JobId(2)).unwrap();
+        assert!((r2.start.as_hours() - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn conservative_completes_random_workload() {
+        let cfg_wl = sustain_workload::synth::WorkloadConfig::default();
+        let jobs =
+            sustain_workload::synth::generate(&cfg_wl, SimDuration::from_hours(48.0), 21);
+        let out = simulate(
+            &jobs,
+            &SimConfig {
+                policy: Policy::ConservativeBackfill,
+                ..SimConfig::easy(Cluster::new(600))
+            },
+        );
+        assert_eq!(out.unfinished, 0);
+        // Conservative is at least as conservative as EASY: mean wait is
+        // not lower than EASY's by construction artifacts; just check
+        // sanity bounds.
+        assert!(out.utilization > 0.0 && out.utilization <= 1.0);
+    }
+
+    #[test]
+    fn queue_priorities_reorder_pending() {
+        use crate::queue::{QueueConfig, QueueSet};
+        // Two queues: "fast" (small jobs, high priority) and "slow".
+        let queues = QueueSet {
+            queues: vec![
+                QueueConfig {
+                    name: "fast".into(),
+                    priority: 10,
+                    min_nodes: 1,
+                    max_nodes: 2,
+                    max_walltime: SimDuration::from_hours(100.0),
+                },
+                QueueConfig {
+                    name: "slow".into(),
+                    priority: 1,
+                    min_nodes: 1,
+                    max_nodes: 64,
+                    max_walltime: SimDuration::from_hours(100.0),
+                },
+            ],
+        };
+        // Cluster 4 busy until t=2 with job0; then a slow 4-node job
+        // (submitted first) and a fast 2-node job (submitted later)
+        // compete. Priority puts the fast job first in line under FCFS.
+        let jobs = vec![
+            rigid(1, 0.0, 4, 2.0),
+            rigid(2, 0.5, 4, 1.0),
+            rigid(3, 0.6, 2, 1.0),
+        ];
+        let out = simulate(
+            &jobs,
+            &SimConfig {
+                policy: Policy::Fcfs,
+                queues: Some(queues),
+                ..SimConfig::easy(Cluster::new(4))
+            },
+        );
+        let r2 = out.records.iter().find(|r| r.id == JobId(2)).unwrap();
+        let r3 = out.records.iter().find(|r| r.id == JobId(3)).unwrap();
+        assert!(
+            r3.start < r2.start,
+            "high-priority job3 ({}) should start before job2 ({})",
+            r3.start,
+            r2.start
+        );
+    }
+
+    #[test]
+    fn unadmittable_jobs_rejected_by_queues() {
+        use crate::queue::QueueSet;
+        let queues = QueueSet::typical(64);
+        // 65-node request: no queue admits it on a 64-node layout.
+        let jobs = vec![rigid(1, 0.0, 65, 1.0), rigid(2, 0.0, 4, 1.0)];
+        let out = simulate(
+            &jobs,
+            &SimConfig {
+                queues: Some(queues),
+                ..SimConfig::easy(Cluster::new(128))
+            },
+        );
+        assert_eq!(out.unfinished, 1);
+        assert_eq!(out.records.len(), 1);
+        assert_eq!(out.records[0].id, JobId(2));
+    }
+
+    #[test]
+    fn shrink_on_budget_drop() {
+        // Malleable job at 8 nodes × 500 W = 4 kW; budget drops to 2 kW at
+        // hour 1 → shrink to 4 nodes.
+        let job = JobBuilder::new(1, SimTime::ZERO, 8, SimDuration::from_hours(4.0))
+            .class(JobClass::Malleable {
+                min_nodes: 2,
+                max_nodes: 8,
+            })
+            .build();
+        let mut budget = vec![5000.0];
+        budget.extend(vec![2000.0; 100]);
+        let series = TimeSeries::new(SimTime::ZERO, SimDuration::from_hours(1.0), budget);
+        let mut cfg = SimConfig::easy(Cluster::new(8));
+        cfg.power_budget = Some(series);
+        cfg.enable_malleability = true;
+        let out = simulate(&[job], &cfg);
+        let r = &out.records[0];
+        assert!(r.reshapes >= 1, "job should shrink");
+        // After the shrink it runs slower (fewer nodes) → span > 4 h.
+        assert!(r.span().as_hours() > 4.0);
+        // Violation window at most the tick quantization.
+        assert!(out.budget_violation_seconds <= 3700.0);
+        assert_eq!(out.unfinished, 0);
+    }
+}

@@ -1,0 +1,271 @@
+//! Generic discrete-event simulation driver.
+//!
+//! Components implement [`Process`] and the [`Engine`] advances simulated
+//! time event by event. The engine enforces causality (handlers may only
+//! schedule at or after the current time) and exposes run-until/run-to-empty
+//! stepping so schedulers and controllers can be co-simulated.
+
+use crate::event::{EventId, EventQueue};
+use crate::time::{SimDuration, SimTime};
+
+/// Context handed to [`Process::handle`]; lets a handler observe the clock
+/// and schedule follow-up events.
+pub struct Ctx<'a, E> {
+    now: SimTime,
+    queue: &'a mut EventQueue<E>,
+}
+
+impl<'a, E> Ctx<'a, E> {
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to fire `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) -> EventId {
+        self.queue.schedule(self.now + delay, event)
+    }
+
+    /// Schedules `event` at an absolute time.
+    ///
+    /// # Panics
+    /// Panics if `at` lies in the simulated past (causality violation).
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "causality violation: scheduling at {at} while now is {}",
+            self.now
+        );
+        self.queue.schedule(at, event)
+    }
+
+    /// Cancels a pending event.
+    pub fn cancel(&mut self, id: EventId) {
+        self.queue.cancel(id);
+    }
+}
+
+/// A simulated component: receives events and reacts by mutating itself and
+/// scheduling more events.
+pub trait Process {
+    /// Event alphabet of the simulation.
+    type Event;
+
+    /// Handles one event at the context's current time.
+    fn handle(&mut self, event: Self::Event, ctx: &mut Ctx<'_, Self::Event>);
+}
+
+/// Outcome of driving an [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained before the horizon.
+    Drained,
+    /// The horizon was reached with events still pending.
+    HorizonReached,
+    /// The step budget was exhausted (runaway-loop guard).
+    StepBudgetExhausted,
+}
+
+/// Discrete-event engine: a clock plus a future-event list driving one
+/// [`Process`].
+pub struct Engine<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+    steps: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine at time zero with an empty queue.
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            steps: 0,
+        }
+    }
+
+    /// Current simulated time (time of the most recently dispatched event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events dispatched so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Seeds an initial event before running.
+    pub fn seed(&mut self, at: SimTime, event: E) -> EventId {
+        assert!(at >= self.now, "cannot seed event in the past");
+        self.queue.schedule(at, event)
+    }
+
+    /// Dispatches a single event to `proc`. Returns `false` when the queue
+    /// is empty.
+    pub fn step<P: Process<Event = E>>(&mut self, proc: &mut P) -> bool {
+        match self.queue.pop() {
+            Some((t, ev)) => {
+                debug_assert!(t >= self.now, "event queue went backwards");
+                self.now = t;
+                self.steps += 1;
+                let mut ctx = Ctx {
+                    now: t,
+                    queue: &mut self.queue,
+                };
+                proc.handle(ev, &mut ctx);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the queue drains, the next event would fire after
+    /// `horizon`, or `max_steps` events have been dispatched.
+    ///
+    /// Events at exactly `horizon` are still dispatched.
+    pub fn run_until<P: Process<Event = E>>(
+        &mut self,
+        proc: &mut P,
+        horizon: SimTime,
+        max_steps: u64,
+    ) -> RunOutcome {
+        let mut budget = max_steps;
+        loop {
+            match self.queue.peek_time() {
+                None => return RunOutcome::Drained,
+                Some(t) if t > horizon => {
+                    // Advance the clock to the horizon so subsequent seeding
+                    // and measurements see a consistent end time.
+                    self.now = horizon.max(self.now);
+                    return RunOutcome::HorizonReached;
+                }
+                Some(_) => {}
+            }
+            if budget == 0 {
+                return RunOutcome::StepBudgetExhausted;
+            }
+            budget -= 1;
+            let progressed = self.step(proc);
+            debug_assert!(progressed);
+        }
+    }
+
+    /// Runs until the queue is empty or `max_steps` is exhausted.
+    pub fn run_to_empty<P: Process<Event = E>>(
+        &mut self,
+        proc: &mut P,
+        max_steps: u64,
+    ) -> RunOutcome {
+        for _ in 0..max_steps {
+            if !self.step(proc) {
+                return RunOutcome::Drained;
+            }
+        }
+        if self.queue.is_empty() {
+            RunOutcome::Drained
+        } else {
+            RunOutcome::StepBudgetExhausted
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A process that counts down: each Tick(n) schedules Tick(n-1) one
+    /// second later until n reaches zero.
+    struct Countdown {
+        fired: Vec<(f64, u32)>,
+    }
+
+    enum Ev {
+        Tick(u32),
+    }
+
+    impl Process for Countdown {
+        type Event = Ev;
+        fn handle(&mut self, event: Ev, ctx: &mut Ctx<'_, Ev>) {
+            let Ev::Tick(n) = event;
+            self.fired.push((ctx.now().as_secs(), n));
+            if n > 0 {
+                ctx.schedule_in(SimDuration::from_secs(1.0), Ev::Tick(n - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn runs_chain_to_completion() {
+        let mut eng = Engine::new();
+        let mut p = Countdown { fired: vec![] };
+        eng.seed(SimTime::from_secs(10.0), Ev::Tick(3));
+        let out = eng.run_to_empty(&mut p, 1_000);
+        assert_eq!(out, RunOutcome::Drained);
+        assert_eq!(
+            p.fired,
+            vec![(10.0, 3), (11.0, 2), (12.0, 1), (13.0, 0)]
+        );
+        assert_eq!(eng.now(), SimTime::from_secs(13.0));
+        assert_eq!(eng.steps(), 4);
+    }
+
+    #[test]
+    fn horizon_stops_dispatch() {
+        let mut eng = Engine::new();
+        let mut p = Countdown { fired: vec![] };
+        eng.seed(SimTime::ZERO, Ev::Tick(100));
+        let out = eng.run_until(&mut p, SimTime::from_secs(2.5), 1_000);
+        assert_eq!(out, RunOutcome::HorizonReached);
+        // Events at 0, 1, 2 fired; the t=3 event stays pending.
+        assert_eq!(p.fired.len(), 3);
+        assert_eq!(eng.pending(), 1);
+        assert_eq!(eng.now(), SimTime::from_secs(2.5));
+    }
+
+    #[test]
+    fn event_exactly_at_horizon_fires() {
+        let mut eng = Engine::new();
+        let mut p = Countdown { fired: vec![] };
+        eng.seed(SimTime::from_secs(5.0), Ev::Tick(0));
+        let out = eng.run_until(&mut p, SimTime::from_secs(5.0), 10);
+        assert_eq!(out, RunOutcome::Drained);
+        assert_eq!(p.fired, vec![(5.0, 0)]);
+    }
+
+    #[test]
+    fn step_budget_guard() {
+        let mut eng = Engine::new();
+        let mut p = Countdown { fired: vec![] };
+        eng.seed(SimTime::ZERO, Ev::Tick(u32::MAX));
+        let out = eng.run_until(&mut p, SimTime::from_days(1e6), 10);
+        assert_eq!(out, RunOutcome::StepBudgetExhausted);
+        assert_eq!(p.fired.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "causality violation")]
+    fn scheduling_in_past_panics() {
+        struct Bad;
+        impl Process for Bad {
+            type Event = ();
+            fn handle(&mut self, _: (), ctx: &mut Ctx<'_, ()>) {
+                ctx.schedule_at(SimTime::ZERO, ());
+            }
+        }
+        let mut eng = Engine::new();
+        eng.seed(SimTime::from_secs(1.0), ());
+        eng.step(&mut Bad);
+    }
+}

@@ -1,0 +1,39 @@
+//! # sustain-sim-core
+//!
+//! Simulation substrate for the `sustain-hpc` workspace — the reproduction
+//! of *"Sustainability in HPC: Vision and Opportunities"* (SC-W 2023).
+//!
+//! This crate contains everything domain-agnostic that the carbon-aware HPC
+//! stack is built on:
+//!
+//! * [`time`] — simulated time and durations with calendar helpers;
+//! * [`event`] — a deterministic future-event list;
+//! * [`engine`] — a generic discrete-event simulation driver;
+//! * [`rng`] — reproducible random streams with named sub-stream derivation;
+//! * [`stats`] — streaming/batch statistics, correlation, error metrics;
+//! * [`series`] — regularly sampled time series with integration;
+//! * [`units`] — watts / joules / grams-CO₂ / gCO₂-per-kWh newtypes.
+//!
+//! Determinism is a hard requirement: given the same seed, every simulation
+//! in the workspace reproduces bit-identical results. The event queue breaks
+//! time ties FIFO, and the RNG is a self-contained xoshiro256++ whose output
+//! does not depend on external crates' implementation details.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod event;
+pub mod rng;
+pub mod series;
+pub mod stats;
+pub mod time;
+pub mod units;
+
+pub use engine::{Ctx, Engine, Process, RunOutcome};
+pub use event::{EventId, EventQueue};
+pub use rng::RngStream;
+pub use series::TimeSeries;
+pub use stats::{RunningStats, Summary};
+pub use time::{SimDuration, SimTime};
+pub use units::{Carbon, CarbonIntensity, Energy, Power};

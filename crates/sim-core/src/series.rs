@@ -1,0 +1,359 @@
+//! Regularly sampled time series.
+//!
+//! [`TimeSeries`] stores values at a fixed step starting from a start time.
+//! Carbon-intensity traces, power telemetry and utilization curves all use
+//! this container; it supports step-function evaluation, trapezoidal and
+//! step integration (for energy = ∫power and carbon = ∫CI·P), resampling to
+//! coarser resolutions, and elementwise arithmetic.
+
+use crate::stats::{RunningStats, Summary};
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A regularly sampled series: `values[i]` is the value over
+/// `[start + i*step, start + (i+1)*step)` (step-function convention).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    start: SimTime,
+    step: SimDuration,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates a series from raw samples.
+    ///
+    /// # Panics
+    /// Panics if `step` is zero.
+    pub fn new(start: SimTime, step: SimDuration, values: Vec<f64>) -> Self {
+        assert!(!step.is_zero(), "time series step must be positive");
+        TimeSeries { start, step, values }
+    }
+
+    /// Creates a constant series of `n` samples.
+    pub fn constant(start: SimTime, step: SimDuration, value: f64, n: usize) -> Self {
+        Self::new(start, step, vec![value; n])
+    }
+
+    /// Builds a series by sampling `f` at each interval start.
+    pub fn from_fn(
+        start: SimTime,
+        step: SimDuration,
+        n: usize,
+        mut f: impl FnMut(SimTime) -> f64,
+    ) -> Self {
+        let values = (0..n).map(|i| f(start + step * i as f64)).collect();
+        Self::new(start, step, values)
+    }
+
+    /// First covered instant.
+    pub fn start(&self) -> SimTime {
+        self.start
+    }
+
+    /// Sampling step.
+    pub fn step(&self) -> SimDuration {
+        self.step
+    }
+
+    /// One past the last covered instant.
+    pub fn end(&self) -> SimTime {
+        self.start + self.step * self.values.len() as f64
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Raw sample access.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable raw sample access.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Step-function evaluation at `t`. Times before the start clamp to the
+    /// first sample; times at or past the end clamp to the last.
+    ///
+    /// # Panics
+    /// Panics on an empty series.
+    pub fn at(&self, t: SimTime) -> f64 {
+        assert!(!self.values.is_empty(), "sampling an empty series");
+        if t <= self.start {
+            return self.values[0];
+        }
+        let idx = ((t - self.start) / self.step) as usize;
+        self.values[idx.min(self.values.len() - 1)]
+    }
+
+    /// Index of the interval containing `t`, or `None` if out of range.
+    pub fn index_of(&self, t: SimTime) -> Option<usize> {
+        if t < self.start || t >= self.end() {
+            return None;
+        }
+        Some(((t - self.start) / self.step) as usize)
+    }
+
+    /// Timestamp of the start of interval `i`.
+    pub fn time_of(&self, i: usize) -> SimTime {
+        self.start + self.step * i as f64
+    }
+
+    /// Iterates `(interval_start, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (self.time_of(i), v))
+    }
+
+    /// Step integral of the series over `[from, to]`, in value·seconds.
+    ///
+    /// Out-of-range portions use the clamped boundary values (consistent
+    /// with [`TimeSeries::at`]). `from > to` yields 0.
+    pub fn integrate(&self, from: SimTime, to: SimTime) -> f64 {
+        if self.values.is_empty() || to <= from {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        let mut t = from;
+        while t < to {
+            // End of the interval containing t under the step function.
+            let seg_end = if t < self.start {
+                self.start
+            } else {
+                let idx = ((t - self.start) / self.step) as usize;
+                if idx >= self.values.len() {
+                    to
+                } else {
+                    self.time_of(idx + 1)
+                }
+            };
+            let seg_end = seg_end.min(to);
+            let width = (seg_end - t).as_secs().max(0.0);
+            total += self.at(t) * width;
+            if seg_end <= t {
+                break;
+            }
+            t = seg_end;
+        }
+        total
+    }
+
+    /// Mean value over `[from, to]` (time-weighted).
+    pub fn mean_over(&self, from: SimTime, to: SimTime) -> f64 {
+        let w = (to - from).as_secs();
+        if w == 0.0 {
+            self.at(from)
+        } else {
+            self.integrate(from, to) / w
+        }
+    }
+
+    /// Resamples to a coarser step by averaging whole groups of `factor`
+    /// samples. A trailing partial group is averaged over its actual length.
+    ///
+    /// # Panics
+    /// Panics if `factor == 0`.
+    pub fn downsample_mean(&self, factor: usize) -> TimeSeries {
+        assert!(factor > 0, "downsample factor must be positive");
+        let values: Vec<f64> = self
+            .values
+            .chunks(factor)
+            .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+            .collect();
+        TimeSeries::new(self.start, self.step * factor as f64, values)
+    }
+
+    /// Per-day means, assuming the series step divides a day.
+    pub fn daily_means(&self) -> TimeSeries {
+        let per_day = (crate::time::DAY / self.step.as_secs()).round() as usize;
+        assert!(per_day > 0, "step larger than a day");
+        self.downsample_mean(per_day)
+    }
+
+    /// Streaming statistics over all samples.
+    pub fn stats(&self) -> RunningStats {
+        let mut rs = RunningStats::new();
+        for &v in &self.values {
+            rs.push(v);
+        }
+        rs
+    }
+
+    /// Batch summary (percentiles etc.) over all samples.
+    pub fn summary(&self) -> Summary {
+        Summary::of(&self.values)
+    }
+
+    /// Elementwise map.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> TimeSeries {
+        TimeSeries::new(self.start, self.step, self.values.iter().map(|&v| f(v)).collect())
+    }
+
+    /// Elementwise combination of two aligned series.
+    ///
+    /// # Panics
+    /// Panics if the series are not aligned (same start, step, length).
+    pub fn zip_with(&self, other: &TimeSeries, f: impl Fn(f64, f64) -> f64) -> TimeSeries {
+        assert!(
+            self.start == other.start && self.step == other.step && self.len() == other.len(),
+            "zip_with requires aligned series"
+        );
+        let values = self
+            .values
+            .iter()
+            .zip(&other.values)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        TimeSeries::new(self.start, self.step, values)
+    }
+
+    /// Scales every sample by `k`.
+    pub fn scale(&self, k: f64) -> TimeSeries {
+        self.map(|v| v * k)
+    }
+
+    /// Minimum sample (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum sample (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{DAY, HOUR};
+
+    fn hourly(values: Vec<f64>) -> TimeSeries {
+        TimeSeries::new(SimTime::ZERO, SimDuration::from_hours(1.0), values)
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let ts = hourly(vec![1.0, 2.0, 3.0]);
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.end(), SimTime::from_hours(3.0));
+        assert_eq!(ts.time_of(2), SimTime::from_hours(2.0));
+        assert_eq!(ts.min(), 1.0);
+        assert_eq!(ts.max(), 3.0);
+    }
+
+    #[test]
+    fn step_function_evaluation_and_clamping() {
+        let ts = hourly(vec![10.0, 20.0, 30.0]);
+        assert_eq!(ts.at(SimTime::ZERO), 10.0);
+        assert_eq!(ts.at(SimTime::from_hours(0.99)), 10.0);
+        assert_eq!(ts.at(SimTime::from_hours(1.0)), 20.0);
+        assert_eq!(ts.at(SimTime::from_hours(2.5)), 30.0);
+        assert_eq!(ts.at(SimTime::from_hours(99.0)), 30.0); // clamp high
+        let ts2 = TimeSeries::new(
+            SimTime::from_hours(5.0),
+            SimDuration::from_hours(1.0),
+            vec![7.0, 8.0],
+        );
+        assert_eq!(ts2.at(SimTime::ZERO), 7.0); // clamp low
+    }
+
+    #[test]
+    fn index_of_bounds() {
+        let ts = hourly(vec![1.0, 2.0]);
+        assert_eq!(ts.index_of(SimTime::ZERO), Some(0));
+        assert_eq!(ts.index_of(SimTime::from_hours(1.5)), Some(1));
+        assert_eq!(ts.index_of(SimTime::from_hours(2.0)), None);
+    }
+
+    #[test]
+    fn integrate_whole_and_partial_intervals() {
+        let ts = hourly(vec![10.0, 20.0, 30.0]);
+        // Whole range: (10+20+30)*3600.
+        let whole = ts.integrate(SimTime::ZERO, SimTime::from_hours(3.0));
+        assert!((whole - 60.0 * HOUR).abs() < 1e-6);
+        // Half of the second hour: 20 * 1800.
+        let part = ts.integrate(SimTime::from_hours(1.0), SimTime::from_hours(1.5));
+        assert!((part - 20.0 * 0.5 * HOUR).abs() < 1e-6);
+        // Straddling two intervals.
+        let strad = ts.integrate(SimTime::from_hours(0.5), SimTime::from_hours(1.5));
+        assert!((strad - (10.0 * 0.5 + 20.0 * 0.5) * HOUR).abs() < 1e-6);
+    }
+
+    #[test]
+    fn integrate_clamps_out_of_range() {
+        let ts = hourly(vec![5.0]);
+        // Past the end: last value extends.
+        let v = ts.integrate(SimTime::ZERO, SimTime::from_hours(2.0));
+        assert!((v - 5.0 * 2.0 * HOUR).abs() < 1e-6);
+        assert_eq!(ts.integrate(SimTime::from_hours(2.0), SimTime::from_hours(1.0)), 0.0);
+    }
+
+    #[test]
+    fn mean_over_is_time_weighted() {
+        let ts = hourly(vec![0.0, 100.0]);
+        let m = ts.mean_over(SimTime::ZERO, SimTime::from_hours(2.0));
+        assert!((m - 50.0).abs() < 1e-9);
+        // Degenerate window = point evaluation.
+        assert_eq!(ts.mean_over(SimTime::from_hours(1.5), SimTime::from_hours(1.5)), 100.0);
+    }
+
+    #[test]
+    fn downsample_and_daily_means() {
+        let vals: Vec<f64> = (0..48).map(|i| i as f64).collect();
+        let ts = hourly(vals);
+        let daily = ts.daily_means();
+        assert_eq!(daily.len(), 2);
+        assert!((daily.values()[0] - 11.5).abs() < 1e-9);
+        assert!((daily.values()[1] - 35.5).abs() < 1e-9);
+        assert_eq!(daily.step().as_secs(), DAY);
+        // Partial trailing group.
+        let ts2 = hourly(vec![1.0, 2.0, 3.0]);
+        let ds = ts2.downsample_mean(2);
+        assert_eq!(ds.len(), 2);
+        assert!((ds.values()[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn map_zip_scale() {
+        let a = hourly(vec![1.0, 2.0]);
+        let b = hourly(vec![10.0, 20.0]);
+        let sum = a.zip_with(&b, |x, y| x + y);
+        assert_eq!(sum.values(), &[11.0, 22.0]);
+        assert_eq!(a.scale(3.0).values(), &[3.0, 6.0]);
+        assert_eq!(a.map(|v| v * v).values(), &[1.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn zip_with_misaligned_panics() {
+        let a = hourly(vec![1.0]);
+        let b = hourly(vec![1.0, 2.0]);
+        let _ = a.zip_with(&b, |x, _| x);
+    }
+
+    #[test]
+    fn from_fn_samples_interval_starts() {
+        let ts = TimeSeries::from_fn(SimTime::ZERO, SimDuration::from_hours(1.0), 3, |t| {
+            t.as_hours()
+        });
+        assert_eq!(ts.values(), &[0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn stats_and_summary() {
+        let ts = hourly(vec![1.0, 2.0, 3.0, 4.0]);
+        assert!((ts.stats().mean() - 2.5).abs() < 1e-12);
+        assert_eq!(ts.summary().count, 4);
+    }
+}

@@ -1,0 +1,117 @@
+//! Serialization of reports and rankings (CSV and JSON).
+//!
+//! Operational-data-analytics output must land in tools users already
+//! have; CSV covers spreadsheets and plotting scripts, JSON covers
+//! dashboards.
+
+use crate::accounting::JobCarbonProfile;
+use crate::carbon500::Carbon500Row;
+use serde::Serialize;
+
+/// Serializes any value to pretty JSON.
+pub fn to_json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("serializable value")
+}
+
+/// Escapes a CSV field (quotes fields containing separators or quotes).
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Renders job carbon profiles as CSV.
+pub fn profiles_to_csv(profiles: &[JobCarbonProfile]) -> String {
+    let mut out = String::from(
+        "job_id,user,energy_kwh,carbon_kg,node_seconds,green_energy_fraction,effective_ci_g_per_kwh\n",
+    );
+    for p in profiles {
+        out.push_str(&format!(
+            "{},{},{:.6},{:.6},{:.1},{:.4},{:.2}\n",
+            p.id.0,
+            p.user,
+            p.energy.kwh(),
+            p.carbon.kg(),
+            p.node_seconds,
+            p.green_energy_fraction,
+            p.effective_ci
+        ));
+    }
+    out
+}
+
+/// Renders Carbon500 rows as CSV.
+pub fn carbon500_to_csv(rows: &[Carbon500Row]) -> String {
+    let mut out =
+        String::from("rank,name,efficiency_gflops_hours_per_kg,hourly_carbon_kg,embodied_share\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{:.3},{:.3},{:.4}\n",
+            r.rank,
+            csv_field(&r.name),
+            r.efficiency,
+            r.hourly_carbon_kg,
+            r.embodied_share
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sustain_sim_core::units::{Carbon, Energy};
+    use sustain_workload::job::JobId;
+
+    fn profile() -> JobCarbonProfile {
+        JobCarbonProfile {
+            id: JobId(3),
+            user: 9,
+            energy: Energy::from_kwh(12.5),
+            carbon: Carbon::from_kg(3.75),
+            node_seconds: 7200.0,
+            green_energy_fraction: 0.4,
+            effective_ci: 300.0,
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = profiles_to_csv(&[profile()]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("job_id,"));
+        assert!(lines[1].starts_with("3,9,12.5"));
+        assert!(lines[1].contains("0.4000"));
+    }
+
+    #[test]
+    fn json_roundtrips() {
+        let json = to_json(&profile());
+        let back: JobCarbonProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, profile());
+    }
+
+    #[test]
+    fn csv_escaping() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn carbon500_csv() {
+        let rows = vec![Carbon500Row {
+            rank: 1,
+            name: "LRZ, Garching".into(),
+            efficiency: 123.4,
+            hourly_carbon_kg: 56.7,
+            embodied_share: 0.8,
+        }];
+        let csv = carbon500_to_csv(&rows);
+        assert!(csv.contains("\"LRZ, Garching\""));
+        assert!(csv.contains("123.400"));
+    }
+}

@@ -1,0 +1,157 @@
+//! Feeding the DCDB-style sensor tree from simulation output.
+//!
+//! The paper's §3.4 pipeline is: telemetry (DCDB) → aggregation → carbon
+//! quantification. This module is the first arrow: it populates a
+//! [`crate::sensor::SensorTree`] from scheduler records and a
+//! grid trace — system power, per-job power, and grid intensity — at a
+//! fixed cadence, so downstream aggregation queries run exactly as they
+//! would against a live DCDB.
+
+use crate::sensor::SensorTree;
+use sustain_grid::trace::CarbonTrace;
+use sustain_scheduler::metrics::{power_profile, JobRecord};
+use sustain_sim_core::time::{SimDuration, SimTime};
+
+/// Populates a sensor tree from completed job records and the grid trace.
+///
+/// Sensors created:
+/// * `/system/power` — total job power per sample, W;
+/// * `/system/jobs/<id>/power` — per-job power, W (samples only while the
+///   job runs);
+/// * `/grid/carbon_intensity` — gCO₂/kWh per sample.
+pub fn feed_from_records(
+    records: &[JobRecord],
+    trace: &CarbonTrace,
+    step: SimDuration,
+    horizon: SimTime,
+) -> SensorTree {
+    assert!(!step.is_zero(), "sampling step must be positive");
+    let mut tree = SensorTree::new();
+
+    // System-level power from the reconstructed profile.
+    let profile = power_profile(records, step, horizon);
+    for (t, w) in profile.iter() {
+        tree.push("/system/power", t, w);
+    }
+
+    // Grid intensity at the same cadence.
+    let mut t = SimTime::ZERO;
+    while t < horizon {
+        tree.push("/grid/carbon_intensity", t, trace.at(t).grams_per_kwh());
+        t = t + step;
+    }
+
+    // Per-job power: one sensor per job, sampled over its segments.
+    for rec in records {
+        let path = format!("/system/jobs/{}/power", rec.id.0);
+        for seg in &rec.segments {
+            let mut t = seg.start;
+            while t < seg.end {
+                tree.push(&path, t, seg.power.watts());
+                t = (t + step).min(seg.end);
+                if t >= seg.end {
+                    break;
+                }
+            }
+        }
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sustain_scheduler::metrics::Segment;
+    use sustain_sim_core::series::TimeSeries;
+    use sustain_sim_core::units::Power;
+    use sustain_workload::job::JobId;
+
+    fn record(id: u64, start_h: f64, end_h: f64, kw: f64) -> JobRecord {
+        JobRecord {
+            id: JobId(id),
+            user: 0,
+            submit: SimTime::ZERO,
+            start: SimTime::from_hours(start_h),
+            end: SimTime::from_hours(end_h),
+            segments: vec![Segment {
+                start: SimTime::from_hours(start_h),
+                end: SimTime::from_hours(end_h),
+                nodes: 2,
+                power: Power::from_kw(kw),
+            }],
+            suspensions: 0,
+            reshapes: 0,
+            restarts: 0,
+        }
+    }
+
+    fn trace() -> CarbonTrace {
+        CarbonTrace::new(
+            "t",
+            TimeSeries::new(
+                SimTime::ZERO,
+                SimDuration::from_hours(1.0),
+                vec![100.0, 200.0, 300.0, 400.0],
+            ),
+        )
+    }
+
+    #[test]
+    fn feed_creates_expected_sensors() {
+        let records = vec![record(1, 0.0, 2.0, 1.0), record(2, 1.0, 3.0, 2.0)];
+        let tree = feed_from_records(
+            &records,
+            &trace(),
+            SimDuration::from_hours(1.0),
+            SimTime::from_hours(4.0),
+        );
+        assert!(tree.get("/system/power").is_some());
+        assert!(tree.get("/grid/carbon_intensity").is_some());
+        assert!(tree.get("/system/jobs/1/power").is_some());
+        assert!(tree.get("/system/jobs/2/power").is_some());
+        assert_eq!(tree.subtree("/system/jobs").len(), 2);
+    }
+
+    #[test]
+    fn system_power_matches_overlap() {
+        let records = vec![record(1, 0.0, 2.0, 1.0), record(2, 1.0, 3.0, 2.0)];
+        let tree = feed_from_records(
+            &records,
+            &trace(),
+            SimDuration::from_hours(1.0),
+            SimTime::from_hours(4.0),
+        );
+        let s = tree.get("/system/power").unwrap();
+        let values: Vec<f64> = s.readings().iter().map(|r| r.value).collect();
+        // Hour 0: job1 only (1 kW); hour 1: both (3 kW); hour 2: job2 (2 kW).
+        assert_eq!(values, vec![1000.0, 3000.0, 2000.0, 0.0]);
+    }
+
+    #[test]
+    fn aggregation_query_over_jobs() {
+        let records = vec![record(1, 0.0, 2.0, 1.0), record(2, 0.0, 2.0, 2.0)];
+        let tree = feed_from_records(
+            &records,
+            &trace(),
+            SimDuration::from_hours(1.0),
+            SimTime::from_hours(2.0),
+        );
+        // Sum of per-job mean powers over the first two hours: 1 + 2 kW.
+        let total =
+            tree.aggregate_mean("/system/jobs", SimTime::ZERO, SimTime::from_hours(2.0));
+        assert!((total - 3000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grid_sensor_tracks_trace() {
+        let tree = feed_from_records(
+            &[],
+            &trace(),
+            SimDuration::from_hours(1.0),
+            SimTime::from_hours(4.0),
+        );
+        let s = tree.get("/grid/carbon_intensity").unwrap();
+        let values: Vec<f64> = s.readings().iter().map(|r| r.value).collect();
+        assert_eq!(values, vec![100.0, 200.0, 300.0, 400.0]);
+    }
+}

@@ -1,0 +1,238 @@
+//! Green-period core-hour incentives (§3.4) — experiment E11b.
+//!
+//! The paper: *"To encourage users to submit jobs during periods of green
+//! energy, HPC centers can offer incentives by only charging a fraction of
+//! the actual core hours used by the job during that time."* This module
+//! implements the charging rule and a simple behavioural elasticity model
+//! to quantify the carbon effect of users shifting load into green
+//! windows.
+
+use serde::{Deserialize, Serialize};
+use sustain_grid::green::GreenDetector;
+use sustain_grid::trace::CarbonTrace;
+use sustain_scheduler::metrics::JobRecord;
+use sustain_sim_core::units::Carbon;
+
+/// The charging rule: green node-hours cost a fraction of their face
+/// value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IncentiveScheme {
+    /// Price multiplier for node-hours consumed in green periods (e.g.
+    /// 0.5 = half price). 1.0 disables the incentive.
+    pub green_price_factor: f64,
+}
+
+impl Default for IncentiveScheme {
+    fn default() -> Self {
+        IncentiveScheme {
+            green_price_factor: 0.5,
+        }
+    }
+}
+
+/// Billing outcome for a job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobBill {
+    /// Face-value node-hours consumed.
+    pub node_hours: f64,
+    /// Node-hours consumed inside green periods.
+    pub green_node_hours: f64,
+    /// Node-hours charged after the discount.
+    pub charged_node_hours: f64,
+}
+
+impl IncentiveScheme {
+    /// Bills a job by walking its segments against the green detector.
+    pub fn bill(
+        &self,
+        record: &JobRecord,
+        trace: &CarbonTrace,
+        detector: &GreenDetector,
+    ) -> JobBill {
+        let threshold = detector.threshold_for(trace);
+        let mut total = 0.0;
+        let mut green = 0.0;
+        for seg in &record.segments {
+            let mut t = seg.start;
+            while t < seg.end {
+                // Bucket-aligned sub-windows: classify each by the trace
+                // bucket it actually lies in.
+                let seg_end = trace.bucket_end_after(t).min(seg.end);
+                let nh = seg.nodes as f64 * (seg_end - t).as_hours();
+                total += nh;
+                if trace.at(t).grams_per_kwh() < threshold {
+                    green += nh;
+                }
+                t = seg_end;
+            }
+        }
+        JobBill {
+            node_hours: total,
+            green_node_hours: green,
+            charged_node_hours: (total - green) + green * self.green_price_factor,
+        }
+    }
+}
+
+/// Behavioural model: the fraction of *shiftable* load users move into
+/// green periods as a function of the discount depth. Follows a simple
+/// saturating response: no discount → no shift; deep discount → most
+/// shiftable load moves.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ElasticityModel {
+    /// Fraction of total load that is time-shiftable at all (deadline-free
+    /// batch work).
+    pub shiftable_fraction: f64,
+    /// Responsiveness: shift = shiftable × (1 − exp(−k·discount)).
+    pub responsiveness: f64,
+}
+
+impl Default for ElasticityModel {
+    fn default() -> Self {
+        ElasticityModel {
+            shiftable_fraction: 0.6,
+            responsiveness: 3.0,
+        }
+    }
+}
+
+impl ElasticityModel {
+    /// Fraction of total load shifted into green windows at a discount
+    /// depth (`1 − green_price_factor`).
+    pub fn shifted_fraction(&self, discount: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&discount), "discount out of range");
+        self.shiftable_fraction * (1.0 - (-self.responsiveness * discount).exp())
+    }
+
+    /// Expected carbon saving when `total_energy_kwh` of load pays
+    /// `mean_ci` on average but `green_ci` inside green windows, under the
+    /// given discount.
+    pub fn carbon_saving(
+        &self,
+        total_energy_kwh: f64,
+        mean_ci: f64,
+        green_ci: f64,
+        discount: f64,
+    ) -> Carbon {
+        let shifted = self.shifted_fraction(discount) * total_energy_kwh;
+        Carbon::from_grams(shifted * (mean_ci - green_ci).max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sustain_scheduler::metrics::Segment;
+    use sustain_sim_core::series::TimeSeries;
+    use sustain_sim_core::time::{SimDuration, SimTime};
+    use sustain_sim_core::units::Power;
+    use sustain_workload::job::JobId;
+
+    fn trace() -> CarbonTrace {
+        CarbonTrace::new(
+            "t",
+            TimeSeries::new(
+                SimTime::ZERO,
+                SimDuration::from_hours(1.0),
+                vec![100.0, 100.0, 400.0, 400.0], // mean 250, threshold 225
+            ),
+        )
+    }
+
+    fn record(start_h: f64, end_h: f64, nodes: u32) -> JobRecord {
+        JobRecord {
+            id: JobId(1),
+            user: 0,
+            submit: SimTime::ZERO,
+            start: SimTime::from_hours(start_h),
+            end: SimTime::from_hours(end_h),
+            segments: vec![Segment {
+                start: SimTime::from_hours(start_h),
+                end: SimTime::from_hours(end_h),
+                nodes,
+                power: Power::from_kw(1.0),
+            }],
+            suspensions: 0,
+            reshapes: 0,
+            restarts: 0,
+        }
+    }
+
+    #[test]
+    fn fully_green_job_gets_full_discount() {
+        let bill = IncentiveScheme::default().bill(
+            &record(0.0, 2.0, 4),
+            &trace(),
+            &GreenDetector::default(),
+        );
+        assert!((bill.node_hours - 8.0).abs() < 1e-9);
+        assert!((bill.green_node_hours - 8.0).abs() < 1e-9);
+        assert!((bill.charged_node_hours - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn brown_job_pays_full_price() {
+        let bill = IncentiveScheme::default().bill(
+            &record(2.0, 4.0, 4),
+            &trace(),
+            &GreenDetector::default(),
+        );
+        assert_eq!(bill.green_node_hours, 0.0);
+        assert!((bill.charged_node_hours - bill.node_hours).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixed_job_prorated() {
+        // Hours 1-3: one green, one brown.
+        let bill = IncentiveScheme::default().bill(
+            &record(1.0, 3.0, 2),
+            &trace(),
+            &GreenDetector::default(),
+        );
+        assert!((bill.node_hours - 4.0).abs() < 1e-9);
+        assert!((bill.green_node_hours - 2.0).abs() < 1e-9);
+        assert!((bill.charged_node_hours - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disabled_incentive_charges_face_value() {
+        let scheme = IncentiveScheme {
+            green_price_factor: 1.0,
+        };
+        let bill = scheme.bill(&record(0.0, 2.0, 4), &trace(), &GreenDetector::default());
+        assert_eq!(bill.charged_node_hours, bill.node_hours);
+    }
+
+    #[test]
+    fn elasticity_monotone_and_saturating() {
+        let m = ElasticityModel::default();
+        assert_eq!(m.shifted_fraction(0.0), 0.0);
+        let mut last = 0.0;
+        for d in [0.1, 0.3, 0.5, 0.8, 1.0] {
+            let s = m.shifted_fraction(d);
+            assert!(s > last);
+            last = s;
+        }
+        // Never exceeds the shiftable fraction.
+        assert!(last < m.shiftable_fraction);
+    }
+
+    #[test]
+    fn carbon_saving_scales_with_discount() {
+        let m = ElasticityModel::default();
+        let low = m.carbon_saving(1000.0, 300.0, 150.0, 0.2);
+        let high = m.carbon_saving(1000.0, 300.0, 150.0, 0.8);
+        assert!(high > low);
+        // CI gap of zero → no savings.
+        assert_eq!(
+            m.carbon_saving(1000.0, 200.0, 200.0, 0.5),
+            Carbon::ZERO
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "discount out of range")]
+    fn invalid_discount_rejected() {
+        ElasticityModel::default().shifted_fraction(1.5);
+    }
+}

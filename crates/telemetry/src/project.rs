@@ -1,0 +1,240 @@
+//! Project compute-budget accounting (§3.4).
+//!
+//! The paper: *"HPC centers commonly allocate compute budget to projects
+//! using units like core-hours, enabling project members to execute HPC
+//! jobs ... This approach can be synergistically integrated with §3.3 to
+//! enable automatic incentivized HPC job budget accounting."*
+//!
+//! A [`ProjectLedger`] tracks each project's node-hour allocation, charges
+//! completed jobs through an [`IncentiveScheme`] (green node-hours at a
+//! discount), and reports utilization and the carbon attributable to the
+//! project.
+
+use crate::incentive::IncentiveScheme;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use sustain_grid::green::GreenDetector;
+use sustain_grid::trace::CarbonTrace;
+use sustain_scheduler::metrics::JobRecord;
+use sustain_sim_core::units::Carbon;
+
+/// A project with a node-hour allocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Project {
+    /// Project identifier.
+    pub id: u32,
+    /// Granted allocation, node-hours.
+    pub allocation_node_hours: f64,
+}
+
+/// Account state of one project.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProjectAccount {
+    /// Jobs charged.
+    pub jobs: usize,
+    /// Face-value node-hours consumed.
+    pub consumed_node_hours: f64,
+    /// Node-hours actually charged (after green discounts).
+    pub charged_node_hours: f64,
+    /// Node-hours consumed inside green periods.
+    pub green_node_hours: f64,
+    /// Operational carbon attributed to the project.
+    pub carbon: Carbon,
+}
+
+/// Error returned when charging against an unknown project.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownProject(pub u32);
+
+impl std::fmt::Display for UnknownProject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown project id {}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownProject {}
+
+/// Ledger of all projects at a site.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProjectLedger {
+    projects: BTreeMap<u32, Project>,
+    accounts: BTreeMap<u32, ProjectAccount>,
+    scheme: IncentiveScheme,
+}
+
+impl ProjectLedger {
+    /// Creates a ledger with the given projects and incentive scheme.
+    pub fn new(projects: Vec<Project>, scheme: IncentiveScheme) -> ProjectLedger {
+        let accounts = projects
+            .iter()
+            .map(|p| (p.id, ProjectAccount::default()))
+            .collect();
+        ProjectLedger {
+            projects: projects.into_iter().map(|p| (p.id, p)).collect(),
+            accounts,
+            scheme,
+        }
+    }
+
+    /// Charges a completed job to a project. The project is billed the
+    /// incentive-discounted node-hours; carbon is attributed at face
+    /// value.
+    pub fn charge(
+        &mut self,
+        project_id: u32,
+        record: &JobRecord,
+        trace: &CarbonTrace,
+        detector: &GreenDetector,
+    ) -> Result<&ProjectAccount, UnknownProject> {
+        if !self.projects.contains_key(&project_id) {
+            return Err(UnknownProject(project_id));
+        }
+        let bill = self.scheme.bill(record, trace, detector);
+        let acc = self.accounts.get_mut(&project_id).expect("checked above");
+        acc.jobs += 1;
+        acc.consumed_node_hours += bill.node_hours;
+        acc.charged_node_hours += bill.charged_node_hours;
+        acc.green_node_hours += bill.green_node_hours;
+        acc.carbon += record.carbon(trace);
+        Ok(acc)
+    }
+
+    /// The account of a project.
+    pub fn account(&self, project_id: u32) -> Option<&ProjectAccount> {
+        self.accounts.get(&project_id)
+    }
+
+    /// Remaining charged budget (allocation − charged node-hours). May go
+    /// negative: overdrawn projects typically lose scheduling priority.
+    pub fn remaining(&self, project_id: u32) -> Option<f64> {
+        let p = self.projects.get(&project_id)?;
+        let a = self.accounts.get(&project_id)?;
+        Some(p.allocation_node_hours - a.charged_node_hours)
+    }
+
+    /// `true` if the project has exhausted its allocation.
+    pub fn is_exhausted(&self, project_id: u32) -> bool {
+        self.remaining(project_id).is_some_and(|r| r <= 0.0)
+    }
+
+    /// Node-hours effectively "gifted" to a project by the green
+    /// incentive (consumed − charged) — the §3.4 reward signal.
+    pub fn incentive_gift(&self, project_id: u32) -> Option<f64> {
+        let a = self.accounts.get(&project_id)?;
+        Some(a.consumed_node_hours - a.charged_node_hours)
+    }
+
+    /// Iterates all project accounts.
+    pub fn accounts(&self) -> impl Iterator<Item = (&u32, &ProjectAccount)> {
+        self.accounts.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sustain_scheduler::metrics::Segment;
+    use sustain_sim_core::series::TimeSeries;
+    use sustain_sim_core::time::{SimDuration, SimTime};
+    use sustain_sim_core::units::Power;
+    use sustain_workload::job::JobId;
+
+    fn trace() -> CarbonTrace {
+        CarbonTrace::new(
+            "t",
+            TimeSeries::new(
+                SimTime::ZERO,
+                SimDuration::from_hours(1.0),
+                vec![100.0, 100.0, 400.0, 400.0],
+            ),
+        )
+    }
+
+    fn record(start_h: f64, end_h: f64, nodes: u32) -> JobRecord {
+        JobRecord {
+            id: JobId(1),
+            user: 0,
+            submit: SimTime::ZERO,
+            start: SimTime::from_hours(start_h),
+            end: SimTime::from_hours(end_h),
+            segments: vec![Segment {
+                start: SimTime::from_hours(start_h),
+                end: SimTime::from_hours(end_h),
+                nodes,
+                power: Power::from_kw(1.0),
+            }],
+            suspensions: 0,
+            reshapes: 0,
+            restarts: 0,
+        }
+    }
+
+    fn ledger() -> ProjectLedger {
+        ProjectLedger::new(
+            vec![
+                Project {
+                    id: 1,
+                    allocation_node_hours: 100.0,
+                },
+                Project {
+                    id: 2,
+                    allocation_node_hours: 5.0,
+                },
+            ],
+            IncentiveScheme::default(),
+        )
+    }
+
+    #[test]
+    fn charge_discounts_green_hours() {
+        let mut l = ledger();
+        let det = GreenDetector::default();
+        // 2 fully green hours × 4 nodes = 8 node-hours, charged 4.
+        let acc = l.charge(1, &record(0.0, 2.0, 4), &trace(), &det).unwrap();
+        assert_eq!(acc.jobs, 1);
+        assert!((acc.consumed_node_hours - 8.0).abs() < 1e-9);
+        assert!((acc.charged_node_hours - 4.0).abs() < 1e-9);
+        assert!((l.incentive_gift(1).unwrap() - 4.0).abs() < 1e-9);
+        assert!((l.remaining(1).unwrap() - 96.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn carbon_attributed_at_face_value() {
+        let mut l = ledger();
+        let det = GreenDetector::default();
+        l.charge(1, &record(2.0, 4.0, 2), &trace(), &det).unwrap();
+        // 2 kWh at 400 g = 800 g.
+        assert!((l.account(1).unwrap().carbon.grams() - 800.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exhaustion_detection() {
+        let mut l = ledger();
+        let det = GreenDetector::default();
+        assert!(!l.is_exhausted(2));
+        // 4 brown node-hours charged at face value against a 5 nh budget.
+        l.charge(2, &record(2.0, 4.0, 2), &trace(), &det).unwrap();
+        assert!(!l.is_exhausted(2));
+        l.charge(2, &record(2.0, 4.0, 2), &trace(), &det).unwrap();
+        assert!(l.is_exhausted(2), "remaining {:?}", l.remaining(2));
+        assert!(l.remaining(2).unwrap() <= 0.0);
+    }
+
+    #[test]
+    fn unknown_project_rejected() {
+        let mut l = ledger();
+        let det = GreenDetector::default();
+        let err = l
+            .charge(99, &record(0.0, 1.0, 1), &trace(), &det)
+            .unwrap_err();
+        assert_eq!(err, UnknownProject(99));
+        assert_eq!(format!("{err}"), "unknown project id 99");
+        assert!(l.remaining(99).is_none());
+    }
+
+    #[test]
+    fn accounts_iterates_all() {
+        let l = ledger();
+        assert_eq!(l.accounts().count(), 2);
+    }
+}

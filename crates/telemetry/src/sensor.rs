@@ -1,0 +1,171 @@
+//! DCDB-style hierarchical sensor tree (§3.4).
+//!
+//! The paper calls for extending operational data analytics tools "such as
+//! DCDB" to aggregate carbon data. DCDB organizes sensors in a slash-
+//! separated hierarchy (`/system/rack/node/cpu/power`); queries aggregate
+//! over subtrees and time windows. This is a compact in-memory
+//! reimplementation of that model: enough to attribute power/carbon
+//! telemetry at any level of the machine.
+
+use serde::{Deserialize, Serialize};
+use sustain_sim_core::time::SimTime;
+
+/// A timestamped reading.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Reading {
+    /// Sample time.
+    pub time: SimTime,
+    /// Sample value (unit is sensor-defined).
+    pub value: f64,
+}
+
+/// A named sensor with its time series of readings.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Sensor {
+    readings: Vec<Reading>,
+}
+
+impl Sensor {
+    /// Appends a reading. Readings must arrive in time order.
+    pub fn push(&mut self, time: SimTime, value: f64) {
+        if let Some(last) = self.readings.last() {
+            assert!(time >= last.time, "out-of-order reading");
+        }
+        self.readings.push(Reading { time, value });
+    }
+
+    /// All readings.
+    pub fn readings(&self) -> &[Reading] {
+        &self.readings
+    }
+
+    /// Readings within `[from, to)`.
+    pub fn window(&self, from: SimTime, to: SimTime) -> &[Reading] {
+        let lo = self.readings.partition_point(|r| r.time < from);
+        let hi = self.readings.partition_point(|r| r.time < to);
+        &self.readings[lo..hi]
+    }
+
+    /// Mean value over a window (unweighted), or `None` if empty.
+    pub fn mean_over(&self, from: SimTime, to: SimTime) -> Option<f64> {
+        let w = self.window(from, to);
+        if w.is_empty() {
+            None
+        } else {
+            Some(w.iter().map(|r| r.value).sum::<f64>() / w.len() as f64)
+        }
+    }
+}
+
+/// A sensor tree addressed by slash-separated paths.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SensorTree {
+    sensors: std::collections::BTreeMap<String, Sensor>,
+}
+
+impl SensorTree {
+    /// Creates an empty tree.
+    pub fn new() -> SensorTree {
+        SensorTree::default()
+    }
+
+    /// Pushes a reading to a sensor path (creating the sensor on first
+    /// use). Paths must start with `/`.
+    pub fn push(&mut self, path: &str, time: SimTime, value: f64) {
+        assert!(path.starts_with('/'), "sensor path must start with '/'");
+        self.sensors.entry(path.to_string()).or_default().push(time, value);
+    }
+
+    /// The sensor at an exact path.
+    pub fn get(&self, path: &str) -> Option<&Sensor> {
+        self.sensors.get(path)
+    }
+
+    /// All sensor paths under a prefix (subtree query).
+    pub fn subtree(&self, prefix: &str) -> Vec<&str> {
+        self.sensors
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .map(String::as_str)
+            .collect()
+    }
+
+    /// Sums the means of every sensor in a subtree over a window —
+    /// e.g. total node power from per-component power sensors.
+    pub fn aggregate_mean(&self, prefix: &str, from: SimTime, to: SimTime) -> f64 {
+        self.subtree(prefix)
+            .iter()
+            .filter_map(|p| self.sensors[*p].mean_over(from, to))
+            .sum()
+    }
+
+    /// Number of sensors.
+    pub fn len(&self) -> usize {
+        self.sensors.len()
+    }
+
+    /// `true` when no sensors exist.
+    pub fn is_empty(&self) -> bool {
+        self.sensors.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(h: f64) -> SimTime {
+        SimTime::from_hours(h)
+    }
+
+    #[test]
+    fn sensor_window_queries() {
+        let mut s = Sensor::default();
+        for h in 0..10 {
+            s.push(t(h as f64), h as f64 * 10.0);
+        }
+        let w = s.window(t(2.0), t(5.0));
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0].value, 20.0);
+        assert_eq!(s.mean_over(t(2.0), t(5.0)), Some(30.0));
+        assert_eq!(s.mean_over(t(20.0), t(30.0)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-order")]
+    fn out_of_order_rejected() {
+        let mut s = Sensor::default();
+        s.push(t(2.0), 1.0);
+        s.push(t(1.0), 1.0);
+    }
+
+    #[test]
+    fn tree_subtree_aggregation() {
+        let mut tree = SensorTree::new();
+        tree.push("/sys/node0/cpu/power", t(0.0), 200.0);
+        tree.push("/sys/node0/gpu/power", t(0.0), 350.0);
+        tree.push("/sys/node0/dram/power", t(0.0), 40.0);
+        tree.push("/sys/node1/cpu/power", t(0.0), 210.0);
+        assert_eq!(tree.len(), 4);
+        assert_eq!(tree.subtree("/sys/node0").len(), 3);
+        let node0 = tree.aggregate_mean("/sys/node0", t(0.0), t(1.0));
+        assert!((node0 - 590.0).abs() < 1e-9);
+        let all = tree.aggregate_mean("/sys", t(0.0), t(1.0));
+        assert!((all - 800.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_path_lookup() {
+        let mut tree = SensorTree::new();
+        tree.push("/a/b", t(0.0), 1.0);
+        assert!(tree.get("/a/b").is_some());
+        assert!(tree.get("/a").is_none());
+        assert!(!tree.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "start with '/'")]
+    fn relative_path_rejected() {
+        SensorTree::new().push("a/b", t(0.0), 1.0);
+    }
+}

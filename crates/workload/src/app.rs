@@ -1,0 +1,195 @@
+//! Iterative application model with checkpoint/restart (§3.3).
+//!
+//! Carbon-aware checkpointing suspends a job during high-carbon periods
+//! and resumes it when the grid is greener. The cost side of that trade is
+//! modelled here: an application advances in iterations; taking a
+//! checkpoint costs wall time (and therefore energy), and a restart replays
+//! the work done since the last checkpoint.
+
+use serde::{Deserialize, Serialize};
+use sustain_sim_core::time::SimDuration;
+
+/// An iterative, checkpointable application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IterativeApp {
+    /// Total iterations to complete.
+    pub total_iterations: u64,
+    /// Wall time per iteration at the reference allocation.
+    pub seconds_per_iteration: f64,
+    /// Wall time to write one checkpoint.
+    pub checkpoint_cost: SimDuration,
+    /// Wall time to restore from a checkpoint at restart.
+    pub restart_cost: SimDuration,
+    /// Iterations completed so far.
+    pub completed: u64,
+    /// Iterations covered by the last checkpoint.
+    pub checkpointed: u64,
+}
+
+impl IterativeApp {
+    /// Creates an app with nothing completed.
+    pub fn new(
+        total_iterations: u64,
+        seconds_per_iteration: f64,
+        checkpoint_cost: SimDuration,
+        restart_cost: SimDuration,
+    ) -> Self {
+        assert!(total_iterations > 0 && seconds_per_iteration > 0.0);
+        IterativeApp {
+            total_iterations,
+            seconds_per_iteration,
+            checkpoint_cost,
+            restart_cost,
+            completed: 0,
+            checkpointed: 0,
+        }
+    }
+
+    /// `true` when all iterations are done.
+    pub fn is_finished(&self) -> bool {
+        self.completed >= self.total_iterations
+    }
+
+    /// Fraction of the work completed.
+    pub fn progress(&self) -> f64 {
+        self.completed as f64 / self.total_iterations as f64
+    }
+
+    /// Remaining wall time if run to completion without interruption.
+    pub fn remaining_runtime(&self) -> SimDuration {
+        SimDuration::from_secs(
+            (self.total_iterations - self.completed) as f64 * self.seconds_per_iteration,
+        )
+    }
+
+    /// Advances the app by `wall` of uninterrupted execution, returning the
+    /// wall time actually consumed (less than `wall` if the app finishes).
+    pub fn run_for(&mut self, wall: SimDuration) -> SimDuration {
+        let iters = (wall.as_secs() / self.seconds_per_iteration).floor() as u64;
+        let doable = iters.min(self.total_iterations - self.completed);
+        self.completed += doable;
+        SimDuration::from_secs(doable as f64 * self.seconds_per_iteration)
+    }
+
+    /// Takes a checkpoint (captures all completed iterations) and returns
+    /// its wall-time cost.
+    pub fn checkpoint(&mut self) -> SimDuration {
+        self.checkpointed = self.completed;
+        self.checkpoint_cost
+    }
+
+    /// Kills the app (e.g. suspended without a fresh checkpoint): progress
+    /// rolls back to the last checkpoint. Returns the number of iterations
+    /// lost.
+    pub fn kill(&mut self) -> u64 {
+        let lost = self.completed - self.checkpointed;
+        self.completed = self.checkpointed;
+        lost
+    }
+
+    /// Restarts from the last checkpoint and returns the restart cost.
+    pub fn restart(&mut self) -> SimDuration {
+        self.completed = self.checkpointed;
+        self.restart_cost
+    }
+
+    /// Total overhead-free runtime (the lower bound on wall time).
+    pub fn ideal_runtime(&self) -> SimDuration {
+        SimDuration::from_secs(self.total_iterations as f64 * self.seconds_per_iteration)
+    }
+}
+
+/// The classic Young/Daly optimal checkpoint interval:
+/// `sqrt(2 · checkpoint_cost · mtbf)` — used to sanity-check carbon-aware
+/// checkpointing against failure-driven checkpointing.
+pub fn young_daly_interval(checkpoint_cost: SimDuration, mtbf: SimDuration) -> SimDuration {
+    SimDuration::from_secs((2.0 * checkpoint_cost.as_secs() * mtbf.as_secs()).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn app() -> IterativeApp {
+        IterativeApp::new(
+            1000,
+            10.0,
+            SimDuration::from_secs(120.0),
+            SimDuration::from_secs(60.0),
+        )
+    }
+
+    #[test]
+    fn fresh_app_state() {
+        let a = app();
+        assert!(!a.is_finished());
+        assert_eq!(a.progress(), 0.0);
+        assert_eq!(a.remaining_runtime().as_secs(), 10_000.0);
+        assert_eq!(a.ideal_runtime().as_secs(), 10_000.0);
+    }
+
+    #[test]
+    fn run_for_advances_whole_iterations() {
+        let mut a = app();
+        let used = a.run_for(SimDuration::from_secs(95.0));
+        assert_eq!(a.completed, 9);
+        assert_eq!(used.as_secs(), 90.0);
+        assert!((a.progress() - 0.009).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_past_completion_clamps() {
+        let mut a = app();
+        let used = a.run_for(SimDuration::from_secs(1e9));
+        assert!(a.is_finished());
+        assert_eq!(used, a.ideal_runtime());
+        // Further running does nothing.
+        assert_eq!(a.run_for(SimDuration::from_secs(100.0)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn checkpoint_then_kill_preserves_progress() {
+        let mut a = app();
+        a.run_for(SimDuration::from_secs(500.0));
+        assert_eq!(a.completed, 50);
+        let cost = a.checkpoint();
+        assert_eq!(cost.as_secs(), 120.0);
+        a.run_for(SimDuration::from_secs(200.0));
+        assert_eq!(a.completed, 70);
+        let lost = a.kill();
+        assert_eq!(lost, 20);
+        assert_eq!(a.completed, 50);
+    }
+
+    #[test]
+    fn kill_without_checkpoint_loses_everything() {
+        let mut a = app();
+        a.run_for(SimDuration::from_secs(300.0));
+        let lost = a.kill();
+        assert_eq!(lost, 30);
+        assert_eq!(a.completed, 0);
+    }
+
+    #[test]
+    fn restart_resumes_from_checkpoint() {
+        let mut a = app();
+        a.run_for(SimDuration::from_secs(400.0));
+        a.checkpoint();
+        a.run_for(SimDuration::from_secs(100.0));
+        a.kill();
+        let cost = a.restart();
+        assert_eq!(cost.as_secs(), 60.0);
+        assert_eq!(a.completed, 40);
+        assert!(!a.is_finished());
+    }
+
+    #[test]
+    fn young_daly_known_value() {
+        // sqrt(2 × 60 s × 24 h) = sqrt(2×60×86400) ≈ 3220 s.
+        let interval = young_daly_interval(
+            SimDuration::from_secs(60.0),
+            SimDuration::from_hours(24.0),
+        );
+        assert!((interval.as_secs() - 3220.0).abs() < 2.0);
+    }
+}

@@ -1,0 +1,26 @@
+//! # sustain-workload
+//!
+//! HPC workload models for the `sustain-hpc` workspace: jobs with rigid /
+//! moldable / malleable resource classes (§3.2 of the paper), parallel
+//! speedup models, an iterative checkpointable application model (§3.3),
+//! synthetic trace generation with configurable user over-allocation
+//! (§3.4), and trace statistics.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod app;
+pub mod job;
+pub mod phases;
+pub mod speedup;
+pub mod swf;
+pub mod synth;
+pub mod trace;
+
+pub use app::IterativeApp;
+pub use job::{Job, JobBuilder, JobClass, JobId};
+pub use phases::{run_phases, CountdownGovernor, CpuFreqModel, Phase};
+pub use speedup::SpeedupModel;
+pub use swf::{parse_swf, to_swf, SwfImportOptions};
+pub use synth::{generate, WorkloadConfig};
+pub use trace::{JobTrace, TraceStats};

@@ -1,0 +1,237 @@
+//! Standard Workload Format (SWF) import/export.
+//!
+//! SWF is the interchange format of the Parallel Workloads Archive — the
+//! de-facto standard for scheduler research traces (and the format in
+//! which production logs like the ones behind the paper's §3.4 analysis
+//! are published). Supporting it lets this simulator run on real archive
+//! traces and lets our synthetic traces feed other simulators.
+//!
+//! An SWF line has 18 whitespace-separated fields; `;` starts a comment.
+//! The fields used here (1-based, per the SWF spec):
+//!
+//! 1 job id · 2 submit time (s) · 4 run time (s) · 8 requested processors
+//! · 9 requested time (walltime, s) · 12 user id. Unknown values are −1.
+//! Fields we do not model round-trip as −1.
+
+use crate::job::{Job, JobBuilder};
+use sustain_sim_core::time::{SimDuration, SimTime};
+use sustain_sim_core::units::Power;
+
+/// Error from parsing an SWF line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwfParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for SwfParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SWF line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SwfParseError {}
+
+/// Options applied while importing (SWF carries no power or node-count
+/// semantics beyond "processors").
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwfImportOptions {
+    /// Processors per node: SWF counts processors, the simulator counts
+    /// nodes. Requests are divided (rounding up).
+    pub processors_per_node: u32,
+    /// Per-node power assigned to every imported job.
+    pub power_per_node: Power,
+}
+
+impl Default for SwfImportOptions {
+    fn default() -> Self {
+        SwfImportOptions {
+            processors_per_node: 48,
+            power_per_node: Power::from_watts(500.0),
+        }
+    }
+}
+
+/// Parses SWF text into jobs. Jobs with unknown (−1) or zero runtime /
+/// processor counts are skipped, as is conventional.
+///
+/// ```
+/// use sustain_workload::swf::{parse_swf, SwfImportOptions};
+///
+/// let line = "1 0 5 3600 96 -1 96 96 7200 -1 -1 4 -1 -1 -1 -1 -1 -1\n";
+/// let jobs = parse_swf(line, &SwfImportOptions::default()).unwrap();
+/// assert_eq!(jobs[0].requested_nodes, 2); // 96 procs / 48 per node
+/// ```
+pub fn parse_swf(text: &str, options: &SwfImportOptions) -> Result<Vec<Job>, SwfParseError> {
+    assert!(options.processors_per_node > 0);
+    let mut jobs = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with(';') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() < 18 {
+            return Err(SwfParseError {
+                line: lineno + 1,
+                message: format!("expected 18 fields, found {}", fields.len()),
+            });
+        }
+        let field = |i: usize| -> Result<f64, SwfParseError> {
+            fields[i].parse::<f64>().map_err(|_| SwfParseError {
+                line: lineno + 1,
+                message: format!("field {} not numeric: {:?}", i + 1, fields[i]),
+            })
+        };
+        let id = field(0)?;
+        let submit = field(1)?;
+        let runtime = field(3)?;
+        let procs = field(7)?;
+        let req_time = field(8)?;
+        let user = field(11)?;
+        if runtime <= 0.0 || procs <= 0.0 || submit < 0.0 {
+            continue; // unknown/cancelled jobs
+        }
+        let nodes =
+            (procs as u32).div_ceil(options.processors_per_node);
+        let walltime = if req_time > 0.0 {
+            SimDuration::from_secs(req_time.max(runtime))
+        } else {
+            SimDuration::from_secs(runtime * 1.5)
+        };
+        let job = JobBuilder::new(
+            id as u64,
+            SimTime::from_secs(submit),
+            nodes.max(1),
+            SimDuration::from_secs(runtime),
+        )
+        .user(if user >= 0.0 { user as u32 } else { 0 })
+        .walltime(walltime)
+        .power_per_node(options.power_per_node)
+        .build();
+        jobs.push(job);
+    }
+    jobs.sort_by(|a, b| a.submit.cmp(&b.submit).then(a.id.cmp(&b.id)));
+    Ok(jobs)
+}
+
+/// Serializes jobs to SWF text (header comment + one line per job).
+pub fn to_swf(jobs: &[Job], processors_per_node: u32) -> String {
+    assert!(processors_per_node > 0);
+    let mut out = String::from(
+        "; SWF export from sustain-hpc (fields 1,2,4,8,9,12 populated; others -1)\n\
+         ; UnixStartTime: 0\n",
+    );
+    for job in jobs {
+        let procs = job.requested_nodes * processors_per_node;
+        out.push_str(&format!(
+            "{} {} -1 {} {} -1 -1 {} {} -1 -1 {} -1 -1 -1 -1 -1 -1\n",
+            job.id.0,
+            job.submit.as_secs() as i64,
+            job.runtime_requested().as_secs().ceil() as i64,
+            procs,
+            procs,
+            job.walltime_estimate.as_secs().ceil() as i64,
+            job.user,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+; Example SWF fragment
+; Computer: test cluster
+1 0 5 3600 96 -1 96 96 7200 -1 -1 4 -1 -1 -1 -1 -1 -1
+2 60 2 1800 48 -1 48 48 3600 -1 -1 9 -1 -1 -1 -1 -1 -1
+3 120 -1 -1 -1 -1 -1 96 3600 -1 -1 4 -1 -1 -1 -1 -1 -1
+";
+
+    #[test]
+    fn parses_valid_lines_and_skips_unknowns() {
+        let jobs = parse_swf(SAMPLE, &SwfImportOptions::default()).unwrap();
+        // Job 3 has unknown runtime/procs → skipped.
+        assert_eq!(jobs.len(), 2);
+        let j1 = &jobs[0];
+        assert_eq!(j1.id.0, 1);
+        assert_eq!(j1.submit.as_secs(), 0.0);
+        // 96 procs at 48 per node → 2 nodes.
+        assert_eq!(j1.requested_nodes, 2);
+        assert!((j1.runtime_requested().as_secs() - 3600.0).abs() < 1e-6);
+        assert_eq!(j1.walltime_estimate.as_secs(), 7200.0);
+        assert_eq!(j1.user, 4);
+        assert_eq!(jobs[1].user, 9);
+    }
+
+    #[test]
+    fn node_rounding_is_ceiling() {
+        let text = "7 0 0 100 49 -1 49 49 200 -1 -1 1 -1 -1 -1 -1 -1 -1\n";
+        let jobs = parse_swf(text, &SwfImportOptions::default()).unwrap();
+        assert_eq!(jobs[0].requested_nodes, 2); // 49 procs / 48 per node
+    }
+
+    #[test]
+    fn walltime_floor_is_runtime() {
+        // Requested time (field 9) below runtime: clamp up.
+        let text = "8 0 0 1000 48 -1 48 48 500 -1 -1 1 -1 -1 -1 -1 -1 -1\n";
+        let jobs = parse_swf(text, &SwfImportOptions::default()).unwrap();
+        assert!(jobs[0].walltime_estimate.as_secs() >= 1000.0);
+    }
+
+    #[test]
+    fn short_line_is_an_error() {
+        let err = parse_swf("1 2 3\n", &SwfImportOptions::default()).unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("18 fields"));
+        assert!(format!("{err}").contains("SWF line 1"));
+    }
+
+    #[test]
+    fn non_numeric_field_is_an_error() {
+        let text = "x 0 0 100 48 -1 48 48 200 -1 -1 1 -1 -1 -1 -1 -1 -1\n";
+        let err = parse_swf(text, &SwfImportOptions::default()).unwrap_err();
+        assert!(err.message.contains("field 1"));
+    }
+
+    #[test]
+    fn roundtrip_preserves_scheduling_fields() {
+        let cfg = crate::synth::WorkloadConfig::default();
+        let original = crate::synth::generate(&cfg, SimDuration::from_hours(24.0), 5);
+        let swf = to_swf(&original, 48);
+        let back = parse_swf(&swf, &SwfImportOptions::default()).unwrap();
+        assert_eq!(back.len(), original.len());
+        for (a, b) in original.iter().zip(&back) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.user, b.user);
+            assert_eq!(a.requested_nodes, b.requested_nodes);
+            // Times round-trip to whole seconds.
+            assert!((a.submit.as_secs() - b.submit.as_secs()).abs() < 1.0);
+            assert!(
+                (a.runtime_requested().as_secs() - b.runtime_requested().as_secs()).abs() < 1.0
+            );
+        }
+    }
+
+    #[test]
+    fn imported_trace_schedules() {
+        let jobs = parse_swf(SAMPLE, &SwfImportOptions::default()).unwrap();
+        // Jobs are directly consumable by the rest of the stack: derive a
+        // trivial schedule ordering check via runtimes.
+        assert!(jobs[0].runtime_requested() > jobs[1].runtime_requested());
+    }
+
+    #[test]
+    fn export_is_parseable_swf_shape() {
+        let cfg = crate::synth::WorkloadConfig::default();
+        let jobs = crate::synth::generate(&cfg, SimDuration::from_hours(6.0), 3);
+        let swf = to_swf(&jobs, 48);
+        for line in swf.lines().filter(|l| !l.starts_with(';')) {
+            assert_eq!(line.split_whitespace().count(), 18, "line: {line}");
+        }
+    }
+}

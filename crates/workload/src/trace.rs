@@ -1,0 +1,136 @@
+//! Job-trace container and aggregate statistics.
+
+use crate::job::Job;
+use serde::{Deserialize, Serialize};
+use sustain_sim_core::stats::Summary;
+
+/// A named collection of jobs plus derived statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobTrace {
+    /// Trace name.
+    pub name: String,
+    /// Jobs, sorted by submit time.
+    pub jobs: Vec<Job>,
+}
+
+/// Aggregate statistics of a trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Number of jobs.
+    pub count: usize,
+    /// Runtime (at requested allocation) summary, seconds.
+    pub runtime: Summary,
+    /// Requested node count summary.
+    pub nodes: Summary,
+    /// Total requested node-seconds.
+    pub total_node_seconds: f64,
+    /// Node-seconds that over-allocation wastes (idle allocated nodes).
+    pub wasted_node_seconds: f64,
+    /// Fraction of jobs with over-allocation factor > 1.
+    pub overallocating_fraction: f64,
+    /// Fraction of malleable jobs.
+    pub malleable_fraction: f64,
+}
+
+impl JobTrace {
+    /// Wraps jobs as a trace, sorting by submit time.
+    pub fn new(name: impl Into<String>, mut jobs: Vec<Job>) -> JobTrace {
+        jobs.sort_by(|a, b| a.submit.cmp(&b.submit).then(a.id.cmp(&b.id)));
+        JobTrace {
+            name: name.into(),
+            jobs,
+        }
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// `true` when the trace has no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Computes aggregate statistics.
+    pub fn stats(&self) -> TraceStats {
+        let runtimes: Vec<f64> = self
+            .jobs
+            .iter()
+            .map(|j| j.runtime_requested().as_secs())
+            .collect();
+        let nodes: Vec<f64> = self.jobs.iter().map(|j| j.requested_nodes as f64).collect();
+        let total_node_seconds: f64 = self
+            .jobs
+            .iter()
+            .map(|j| j.node_seconds_at(j.requested_nodes))
+            .sum();
+        let wasted: f64 = self
+            .jobs
+            .iter()
+            .map(|j| {
+                let idle = j.requested_nodes.saturating_sub(j.efficient_nodes);
+                idle as f64 * j.runtime_requested().as_secs()
+            })
+            .sum();
+        let over = self
+            .jobs
+            .iter()
+            .filter(|j| j.overallocation_factor() > 1.0)
+            .count();
+        let malleable = self.jobs.iter().filter(|j| j.class.is_malleable()).count();
+        let n = self.jobs.len().max(1);
+        TraceStats {
+            count: self.jobs.len(),
+            runtime: Summary::of(&runtimes),
+            nodes: Summary::of(&nodes),
+            total_node_seconds,
+            wasted_node_seconds: wasted,
+            overallocating_fraction: over as f64 / n as f64,
+            malleable_fraction: malleable as f64 / n as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobBuilder;
+    use sustain_sim_core::time::{SimDuration, SimTime};
+
+    #[test]
+    fn trace_sorts_by_submit_time() {
+        let j1 = JobBuilder::new(1, SimTime::from_hours(5.0), 2, SimDuration::from_hours(1.0))
+            .build();
+        let j2 = JobBuilder::new(2, SimTime::from_hours(1.0), 2, SimDuration::from_hours(1.0))
+            .build();
+        let t = JobTrace::new("t", vec![j1, j2]);
+        assert_eq!(t.jobs[0].id.0, 2);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn stats_capture_waste() {
+        let right = JobBuilder::new(1, SimTime::ZERO, 4, SimDuration::from_hours(1.0)).build();
+        let over = JobBuilder::new(2, SimTime::ZERO, 8, SimDuration::from_hours(1.0))
+            .efficient_nodes(4)
+            .build();
+        let t = JobTrace::new("t", vec![right, over]);
+        let s = t.stats();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.overallocating_fraction, 0.5);
+        // Wasted: 4 idle nodes × 3600 s.
+        assert!((s.wasted_node_seconds - 4.0 * 3600.0).abs() < 1e-6);
+        assert!((s.total_node_seconds - 12.0 * 3600.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_trace_stats() {
+        let t = JobTrace::new("empty", vec![]);
+        let s = t.stats();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.total_node_seconds, 0.0);
+        assert_eq!(s.overallocating_fraction, 0.0);
+    }
+}

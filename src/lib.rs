@@ -1,0 +1,22 @@
+//! Reproduction harness root crate for `sustain-hpc`.
+//!
+//! This crate re-exports the whole workspace so that the `examples/` and
+//! `tests/` directories at the repository root can exercise every subsystem
+//! through one import. The actual implementation lives in the `crates/*`
+//! workspace members; see `DESIGN.md` for the inventory.
+
+#![forbid(unsafe_code)]
+
+pub use sustain_carbon_model as carbon_model;
+pub use sustain_grid as grid;
+pub use sustain_hpc_core as core;
+pub use sustain_power as power;
+pub use sustain_scheduler as scheduler;
+pub use sustain_sim_core as sim_core;
+pub use sustain_telemetry as telemetry;
+pub use sustain_workload as workload;
+
+/// Convenience prelude: the most commonly used items across all crates.
+pub mod prelude {
+    pub use sustain_hpc_core::prelude::*;
+}

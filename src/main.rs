@@ -1,0 +1,212 @@
+//! `sustain-hpc` — the reproduction CLI.
+//!
+//! Runs any experiment of the paper by name and writes its rows as JSON
+//! (and, where a tabular form exists, CSV) into an output directory.
+//!
+//! ```text
+//! sustain-hpc <experiment> [--out DIR] [--seed N] [--days N]
+//! sustain-hpc all --out results/
+//! sustain-hpc list
+//! ```
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use sustain_hpc::core::prelude::*;
+use sustain_hpc::core::{lifetime_report, Site};
+use sustain_hpc::grid::region::Region;
+
+/// Everything the CLI can run, with one-line descriptions.
+const EXPERIMENTS: &[(&str, &str)] = &[
+    ("fig1", "Fig. 1: embodied carbon by component (German Top-3)"),
+    ("table1", "Table 1: LRZ system lifetimes + fleet amortization"),
+    ("fig2", "Fig. 2: daily marginal carbon intensity, Jan 2023"),
+    ("e4", "renewable share vs embodied share (rule of thumb)"),
+    ("e5", "reuse vs recycling vs lifetime extension"),
+    ("e6", "CDP/CEP processor design-space exploration"),
+    ("e7", "embodied vs operational carbon-budget trade-off"),
+    ("e8", "carbon-aware power-budget scaling"),
+    ("e9", "malleability under a power constraint"),
+    ("e10", "carbon-aware scheduling + checkpointing"),
+    ("e11a", "user over-allocation waste"),
+    ("e11b", "green core-hour incentives"),
+    ("e12", "Carbon500 ranking"),
+    ("e13", "chiplet/fab package optimization"),
+    ("e14", "Countdown-like runtime energy savings"),
+    ("a1", "ablation: green-gate threshold sweep"),
+    ("a2", "ablation: checkpoint overhead sweep"),
+    ("a3", "ablation: malleable adoption sweep"),
+    ("a4", "ablation: forecast-driven budget quality"),
+    ("a5", "ablation: backfilling flavours"),
+    ("a6", "ablation: checkpointing under node failures"),
+    ("site", "lifetime carbon reports for LRZ / German grid / coal sites"),
+];
+
+struct Args {
+    command: String,
+    out: Option<PathBuf>,
+    seed: u64,
+    days: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or("missing command; try `list`")?;
+    let mut out = None;
+    let mut seed = 2023u64;
+    let mut days = 14usize;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--out" => {
+                let v = args.next().ok_or("--out needs a directory")?;
+                out = Some(PathBuf::from(v));
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
+            }
+            "--days" => {
+                let v = args.next().ok_or("--days needs a value")?;
+                days = v.parse().map_err(|_| format!("bad days: {v}"))?;
+                if days == 0 {
+                    return Err("--days must be at least 1".into());
+                }
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(Args {
+        command,
+        out,
+        seed,
+        days,
+    })
+}
+
+fn write_json<T: serde::Serialize>(out: &Option<PathBuf>, name: &str, value: &T) {
+    println!(
+        "{}",
+        serde_json::to_string_pretty(value).expect("serializable")
+    );
+    if let Some(dir) = out {
+        fs::create_dir_all(dir).expect("create output directory");
+        let path: &Path = dir;
+        let file = path.join(format!("{name}.json"));
+        fs::write(&file, serde_json::to_vec_pretty(value).expect("serializable"))
+            .expect("write output file");
+        eprintln!("wrote {}", file.display());
+    }
+}
+
+fn run_one(name: &str, args: &Args) -> Result<(), String> {
+    let out = &args.out;
+    let seed = args.seed;
+    let days = args.days;
+    match name {
+        "fig1" => write_json(out, "fig1", &fig1_embodied_breakdown()),
+        "table1" => write_json(out, "table1", &table1_lrz_lifetimes()),
+        "fig2" => write_json(out, "fig2", &fig2_carbon_intensity(seed)),
+        "e4" => write_json(out, "e4", &renewable_share_sweep(21)),
+        "e5" => write_json(out, "e5", &claim_reuse_vs_recycle()),
+        "e6" => write_json(out, "e6", &dse_carbon_metrics()),
+        "e7" => write_json(out, "e7", &budget_tradeoff()),
+        "e8" => write_json(
+            out,
+            "e8",
+            &carbon_aware_power_scaling(Region::Finland, days, seed),
+        ),
+        "e9" => write_json(
+            out,
+            "e9",
+            &malleability_under_power(Region::GreatBritain, days, seed),
+        ),
+        "e10" => write_json(
+            out,
+            "e10",
+            &carbon_aware_scheduling(Region::Finland, days, seed),
+        ),
+        "e11a" => write_json(
+            out,
+            "e11a",
+            &user_overallocation(Region::Germany, days.min(7), seed),
+        ),
+        "e11b" => write_json(out, "e11b", &green_incentives(Region::Finland, seed)),
+        "e12" => write_json(out, "e12", &carbon500()),
+        "e13" => write_json(out, "e13", &chiplet_packaging()),
+        "e14" => write_json(out, "e14", &countdown_savings(Region::Germany, seed)),
+        "a1" => write_json(
+            out,
+            "a1",
+            &green_threshold_sweep(Region::Finland, days.min(7), seed),
+        ),
+        "a2" => write_json(
+            out,
+            "a2",
+            &checkpoint_overhead_sweep(Region::Finland, days.min(7), seed),
+        ),
+        "a3" => write_json(
+            out,
+            "a3",
+            &malleable_fraction_sweep(Region::GreatBritain, days.min(7), seed),
+        ),
+        "a4" => write_json(
+            out,
+            "a4",
+            &forecast_scaling_ablation(Region::Finland, days.min(7), seed),
+        ),
+        "a5" => write_json(
+            out,
+            "a5",
+            &backfill_flavour_sweep(Region::Germany, days.min(7), seed),
+        ),
+        "a6" => write_json(out, "a6", &failure_resilience_sweep(days.min(5), seed)),
+        "site" => {
+            let reports = vec![
+                lifetime_report(&Site::lrz_like()),
+                lifetime_report(&Site::german_grid_like()),
+                lifetime_report(&Site::coal_like()),
+            ];
+            write_json(out, "site", &reports);
+        }
+        other => return Err(format!("unknown experiment: {other}; try `list`")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: sustain-hpc <experiment|all|list> [--out DIR] [--seed N] [--days N]");
+            return ExitCode::FAILURE;
+        }
+    };
+    match args.command.as_str() {
+        "list" => {
+            println!("available experiments:");
+            for (name, desc) in EXPERIMENTS {
+                println!("  {name:<8} {desc}");
+            }
+            ExitCode::SUCCESS
+        }
+        "all" => {
+            for (name, desc) in EXPERIMENTS {
+                eprintln!("=== {name}: {desc}");
+                if let Err(e) = run_one(name, &args) {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        cmd => match run_one(cmd, &args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+    }
+}

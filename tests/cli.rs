@@ -1,0 +1,86 @@
+//! Integration tests for the `sustain-hpc` reproduction CLI, exercised as
+//! a real subprocess (the same surface a user drives).
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sustain-hpc"))
+}
+
+#[test]
+fn list_names_every_experiment() {
+    let out = bin().arg("list").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for name in [
+        "fig1", "table1", "fig2", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11a", "e11b",
+        "e12", "e13", "e14", "a1", "a2", "a3", "a4", "a5", "a6", "site",
+    ] {
+        assert!(text.contains(name), "missing experiment {name}");
+    }
+}
+
+#[test]
+fn fig1_outputs_valid_json_with_anchor() {
+    let out = bin().arg("fig1").output().expect("binary runs");
+    assert!(out.status.success());
+    let rows: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("stdout is pure JSON");
+    let share = rows[0]["memory_storage_share"].as_f64().unwrap();
+    assert!((share - 0.435).abs() < 0.015, "Fig. 1 anchor drifted: {share}");
+}
+
+#[test]
+fn out_flag_writes_artifact() {
+    let dir = std::env::temp_dir().join(format!("sustain-cli-test-{}", std::process::id()));
+    let out = bin()
+        .args(["e12", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let artifact = dir.join("e12.json");
+    let data = std::fs::read(&artifact).expect("artifact written");
+    let rows: serde_json::Value = serde_json::from_slice(&data).unwrap();
+    assert_eq!(rows.as_array().unwrap().len(), 5); // the Carbon500 entries
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn same_seed_is_byte_identical() {
+    let a = bin().args(["fig2", "--seed", "5"]).output().unwrap();
+    let b = bin().args(["fig2", "--seed", "5"]).output().unwrap();
+    assert!(a.status.success());
+    assert_eq!(a.stdout, b.stdout, "same seed must reproduce bytes");
+    let c = bin().args(["fig2", "--seed", "6"]).output().unwrap();
+    assert_ne!(a.stdout, c.stdout, "different seed must differ");
+}
+
+#[test]
+fn bad_inputs_fail_cleanly() {
+    for args in [
+        vec!["nonsense"],
+        vec!["fig1", "--bogus"],
+        vec!["fig2", "--seed"],
+        vec!["e10", "--days", "0"],
+        vec!["e10", "--days", "abc"],
+    ] {
+        let out = bin().args(&args).output().unwrap();
+        assert!(
+            !out.status.success(),
+            "{args:?} should fail with a nonzero exit"
+        );
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(err.contains("error:"), "{args:?}: stderr was {err:?}");
+        // No panic backtraces on user errors.
+        assert!(!err.contains("panicked"), "{args:?} panicked: {err}");
+    }
+}
+
+#[test]
+fn missing_command_prints_usage() {
+    let out = bin().output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("usage:"));
+}

@@ -3,10 +3,10 @@
 //! raw simulator throughput.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sustain_grid::region::Region;
 use sustain_hpc_core::experiments::operations::{
     carbon_aware_power_scaling, carbon_aware_scheduling, malleability_under_power,
 };
-use sustain_grid::region::Region;
 use sustain_scheduler::cluster::Cluster;
 use sustain_scheduler::sim::{simulate, Policy, SimConfig};
 use sustain_sim_core::time::SimDuration;

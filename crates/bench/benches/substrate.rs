@@ -52,12 +52,9 @@ fn bench_substrate(c: &mut Criterion) {
     });
 
     g.throughput(Throughput::Elements(24 * 365));
-    let year = TimeSeries::from_fn(
-        SimTime::ZERO,
-        SimDuration::from_hours(1.0),
-        24 * 365,
-        |t| 300.0 + 50.0 * (t.as_hours() * 0.1).sin(),
-    );
+    let year = TimeSeries::from_fn(SimTime::ZERO, SimDuration::from_hours(1.0), 24 * 365, |t| {
+        300.0 + 50.0 * (t.as_hours() * 0.1).sin()
+    });
     g.bench_function("series_integrate_year", |b| {
         b.iter(|| black_box(year.integrate(SimTime::from_days(10.0), SimTime::from_days(300.0))))
     });

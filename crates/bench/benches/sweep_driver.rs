@@ -1,0 +1,59 @@
+//! Bench: the shared sweep driver — serial vs parallel wall time on the
+//! two headline sweeps (A1 and the 10-region Fig. 2 grid), plus the
+//! trace cache's cold vs hot path. `BENCH_sweep.json` at the repository
+//! root records a committed snapshot of these numbers.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sustain_grid::region::{Region, RegionProfile};
+use sustain_hpc_core::experiments::ablation::green_threshold_sweep;
+use sustain_hpc_core::experiments::grid_exp::fig2_carbon_intensity;
+use sustain_hpc_core::sweep::{
+    calibrated_trace, effective_threads, global_trace_cache, set_threads,
+};
+
+fn bench_sweep_driver(c: &mut Criterion) {
+    println!(
+        "\n--- sweep driver: hardware parallelism {} ---",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    let mut g = c.benchmark_group("sweep_driver");
+    g.sample_size(10);
+
+    g.bench_function("a1_threshold_sweep_serial_3d", |b| {
+        set_threads(1);
+        b.iter(|| black_box(green_threshold_sweep(Region::Finland, 3, 5)))
+    });
+    g.bench_function("a1_threshold_sweep_parallel_3d", |b| {
+        set_threads(0);
+        assert!(effective_threads() >= 1);
+        b.iter(|| black_box(green_threshold_sweep(Region::Finland, 3, 5)))
+    });
+
+    g.bench_function("region_grid_fig2_serial", |b| {
+        set_threads(1);
+        b.iter(|| black_box(fig2_carbon_intensity(2023)))
+    });
+    g.bench_function("region_grid_fig2_parallel", |b| {
+        set_threads(0);
+        b.iter(|| black_box(fig2_carbon_intensity(2023)))
+    });
+
+    let profile = RegionProfile::january_2023(Region::Finland);
+    g.bench_function("calibrated_trace_cold_31d", |b| {
+        b.iter(|| {
+            global_trace_cache().clear();
+            black_box(calibrated_trace(&profile, 31, 5))
+        })
+    });
+    g.bench_function("calibrated_trace_hot_31d", |b| {
+        let warm = calibrated_trace(&profile, 31, 5);
+        b.iter(|| black_box(calibrated_trace(&profile, 31, 5)));
+        black_box(warm);
+    });
+
+    set_threads(0);
+    g.finish();
+}
+
+criterion_group!(benches, bench_sweep_driver);
+criterion_main!(benches);

@@ -52,11 +52,7 @@ fn bench_users(c: &mut Criterion) {
     });
 
     // Per-record kernels on a realistic result set.
-    let mut scenario = Scenario::baseline(
-        "bench",
-        RegionProfile::january_2023(Region::Finland),
-        5,
-    );
+    let mut scenario = Scenario::baseline("bench", RegionProfile::january_2023(Region::Finland), 5);
     scenario.cluster = Cluster::new(600);
     let result = run(&scenario);
     let trace = generate_calibrated(&RegionProfile::january_2023(Region::Finland), 5, 2023);

@@ -134,7 +134,11 @@ pub fn optimize_package(
     assert!(!specs.is_empty(), "no chiplet specs");
     let mut space: u64 = 1;
     for s in specs {
-        assert!(!s.candidate_nodes.is_empty(), "{}: no candidate nodes", s.name);
+        assert!(
+            !s.candidate_nodes.is_empty(),
+            "{}: no candidate nodes",
+            s.name
+        );
         space = space.saturating_mul(s.candidate_nodes.len() as u64);
     }
     assert!(space <= 10_000_000, "assignment space too large: {space}");
@@ -224,8 +228,7 @@ mod tests {
         let spec = &ponte_vecchio_like_specs()[0];
         assert!(spec.area_at(TechnologyNode::N5) < spec.area_at(TechnologyNode::N10));
         assert!(
-            spec.power_at(TechnologyNode::N5).watts()
-                < spec.power_at(TechnologyNode::N10).watts()
+            spec.power_at(TechnologyNode::N5).watts() < spec.power_at(TechnologyNode::N10).watts()
         );
     }
 

@@ -317,7 +317,6 @@ pub mod catalog {
         }
     }
 
-
     /// An H100-like accelerator: large 4 nm-class die (modelled as N5)
     /// with 80 GB HBM2E.
     pub fn h100_like() -> Part {

@@ -98,14 +98,13 @@ pub fn evaluate_design(d: DesignPoint, ctx: &DseContext) -> EvaluatedDesign {
     let eff = d.node.energy_efficiency_vs_28nm();
 
     // Area and embodied carbon.
-    let area_cm2 = (d.cores as f64 * model::CORE_AREA_REF_CM2 + model::UNCORE_AREA_REF_CM2)
-        / density;
+    let area_cm2 =
+        (d.cores as f64 * model::CORE_AREA_REF_CM2 + model::UNCORE_AREA_REF_CM2) / density;
     let embodied_total = FabProfile::for_node(d.node).die_carbon(area_cm2);
 
     // Performance: Amdahl-limited scaling over cores.
     let per_core_gflops = d.freq_ghz * model::FLOPS_PER_CYCLE;
-    let speedup = 1.0
-        / ((1.0 - ctx.parallel_fraction) + ctx.parallel_fraction / d.cores as f64);
+    let speedup = 1.0 / ((1.0 - ctx.parallel_fraction) + ctx.parallel_fraction / d.cores as f64);
     let sustained_gflops = per_core_gflops * speedup;
     let delay = SimDuration::from_secs(ctx.work_gflop / sustained_gflops);
 
@@ -138,8 +137,7 @@ pub fn evaluate_design(d: DesignPoint, ctx: &DseContext) -> EvaluatedDesign {
 pub fn default_design_space() -> Vec<DesignPoint> {
     let cores = [8u32, 16, 24, 32, 48, 64, 96, 128];
     let freqs = [1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0];
-    let mut space =
-        Vec::with_capacity(TechnologyNode::ALL.len() * cores.len() * freqs.len());
+    let mut space = Vec::with_capacity(TechnologyNode::ALL.len() * cores.len() * freqs.len());
     for node in TechnologyNode::ALL {
         for &c in &cores {
             for &f in &freqs {
@@ -154,14 +152,23 @@ pub fn default_design_space() -> Vec<DesignPoint> {
     space
 }
 
-/// Exhaustively evaluates `space` under `metric` (parallel) and returns the
-/// best design. Ties break deterministically toward lower embodied carbon.
-pub fn optimize(space: &[DesignPoint], ctx: &DseContext, metric: DesignMetric) -> EvaluatedDesign {
-    assert!(!space.is_empty(), "empty design space");
-    space
-        .par_iter()
-        .map(|&d| {
-            let mut e = evaluate_design(d, ctx);
+/// Evaluates every design point in `space` against `ctx`, in parallel,
+/// preserving input order. Metric values are left at `0.0`; pick a
+/// metric with [`best_for_metric`] (cheap per metric, since the model
+/// evaluation is shared).
+pub fn evaluate_space(space: &[DesignPoint], ctx: &DseContext) -> Vec<EvaluatedDesign> {
+    space.par_iter().map(|&d| evaluate_design(d, ctx)).collect()
+}
+
+/// Picks the best already-evaluated design under `metric`, filling in
+/// its `metric_value`. Ties break deterministically toward lower
+/// embodied carbon, then fewer cores, then lower frequency.
+pub fn best_for_metric(evals: &[EvaluatedDesign], metric: DesignMetric) -> EvaluatedDesign {
+    assert!(!evals.is_empty(), "empty design space");
+    evals
+        .iter()
+        .map(|e| {
+            let mut e = e.clone();
             e.metric_value = metric.evaluate(e.delay, e.energy, &e.footprint);
             e
         })
@@ -175,8 +182,16 @@ pub fn optimize(space: &[DesignPoint], ctx: &DseContext, metric: DesignMetric) -
         .expect("non-empty space")
 }
 
+/// Exhaustively evaluates `space` under `metric` (parallel) and returns the
+/// best design. Ties break deterministically toward lower embodied carbon.
+pub fn optimize(space: &[DesignPoint], ctx: &DseContext, metric: DesignMetric) -> EvaluatedDesign {
+    best_for_metric(&evaluate_space(space, ctx), metric)
+}
+
 /// Full E6 sweep: optimum for every metric at every grid intensity.
-/// Returns `(ci, metric, best design)` rows.
+/// Returns `(ci, metric, best design)` rows. The analytic models run
+/// once per grid intensity (in parallel across the space); each metric
+/// then reduces over the shared evaluations.
 pub fn metric_ci_sweep(
     space: &[DesignPoint],
     cis_g_per_kwh: &[f64],
@@ -188,8 +203,9 @@ pub fn metric_ci_sweep(
             grid_ci: CarbonIntensity::from_grams_per_kwh(ci),
             ..base_ctx.clone()
         };
+        let evals = evaluate_space(space, &ctx);
         for metric in DesignMetric::ALL {
-            rows.push((ci, metric, optimize(space, &ctx, metric)));
+            rows.push((ci, metric, best_for_metric(&evals, metric)));
         }
     }
     rows
@@ -295,6 +311,17 @@ mod tests {
         assert_eq!(rows.len(), 2 * DesignMetric::ALL.len());
     }
 
+    /// The evaluate-once restructure must be invisible: every sweep row
+    /// equals a from-scratch `optimize` at the same (CI, metric).
+    #[test]
+    fn sweep_rows_match_individual_optimize() {
+        let space = default_design_space();
+        let rows = metric_ci_sweep(&space, &[100.0, 600.0], &ctx(0.0));
+        for (ci, metric, best) in rows {
+            assert_eq!(best, optimize(&space, &ctx(ci), metric), "{ci} {metric:?}");
+        }
+    }
+
     #[test]
     fn optimize_is_deterministic() {
         let space = default_design_space();
@@ -324,6 +351,9 @@ mod tests {
             &c,
         );
         let speedup = few.delay.as_secs() / many.delay.as_secs();
-        assert!(speedup < 16.0, "Amdahl must cap the 16x core ratio: {speedup}");
+        assert!(
+            speedup < 16.0,
+            "Amdahl must cap the 16x core ratio: {speedup}"
+        );
     }
 }

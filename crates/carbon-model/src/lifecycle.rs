@@ -212,7 +212,6 @@ pub fn system_eol_study(
     }
 }
 
-
 /// Outcome of redeploying DDR4 DIMMs from a decommissioned system into a
 /// new-generation (DDR5-platform) system — the paper's ref \[38\]: "recent
 /// research targets reusing DDR4 memory chips from decommissioned servers
@@ -398,7 +397,6 @@ mod tests {
         assert!((by_year[&2026] - 120.0).abs() < 1e-9);
     }
 
-
     /// Paper ref \[38\]: reusing SuperMUC-NG's 0.72 PB of DDR4 in a
     /// successor saves on the order of the successor's DRAM footprint.
     #[test]
@@ -429,10 +427,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "lifetime must be positive")]
     fn zero_lifetime_rejected() {
-        EolModel::for_class(ComponentClass::Cpu).savings(
-            Carbon::ZERO,
-            0.0,
-            EolStrategy::Recycle,
-        );
+        EolModel::for_class(ComponentClass::Cpu).savings(Carbon::ZERO, 0.0, EolStrategy::Recycle);
     }
 }

@@ -5,10 +5,10 @@
 
 use crate::experiments::operations::OpsRow;
 use crate::scenario::{run, Scenario};
+use crate::sweep::{calibrated_trace, sweep};
 use serde::{Deserialize, Serialize};
 use sustain_grid::forecast::{Forecaster, HoltWinters, Persistence, SeasonalNaive};
 use sustain_grid::region::{Region, RegionProfile};
-use sustain_grid::synth::generate_calibrated;
 use sustain_power::carbon_scaler::ScalingPolicy;
 use sustain_power::pue::PueModel;
 use sustain_scheduler::cluster::Cluster;
@@ -48,30 +48,27 @@ fn row_from(label: String, r: &crate::scenario::ScenarioResult) -> OpsRow {
 /// cleaner hours at the cost of longer waits.
 pub fn green_threshold_sweep(region: Region, days: usize, seed: u64) -> Vec<OpsRow> {
     let profile = RegionProfile::january_2023(region);
-    [0.80, 0.90, 0.95, 1.00, 1.05]
-        .iter()
-        .map(|&threshold| {
-            let scenario = Scenario {
-                name: format!("A1-{threshold}"),
-                cluster: ablation_cluster(),
-                region: profile.clone(),
-                days,
-                workload: ablation_workload(),
-                policy: Policy::CarbonAware(CarbonAwareCfg {
-                    green_threshold_fraction: threshold,
-                    short_job_cutoff: SimDuration::from_hours(2.0),
-                    max_delay: SimDuration::from_hours(36.0),
-                }),
-                queues: None,
-                scaling: None,
-                checkpoint: None,
-                malleable: false,
-                pue: PueModel::efficient_hpc(),
-                seed,
-            };
-            row_from(format!("gate@{threshold:.2}"), &run(&scenario))
-        })
-        .collect()
+    sweep(&[0.80, 0.90, 0.95, 1.00, 1.05], |&threshold| {
+        let scenario = Scenario {
+            name: format!("A1-{threshold}"),
+            cluster: ablation_cluster(),
+            region: profile.clone(),
+            days,
+            workload: ablation_workload(),
+            policy: Policy::CarbonAware(CarbonAwareCfg {
+                green_threshold_fraction: threshold,
+                short_job_cutoff: SimDuration::from_hours(2.0),
+                max_delay: SimDuration::from_hours(36.0),
+            }),
+            queues: None,
+            scaling: None,
+            checkpoint: None,
+            malleable: false,
+            pue: PueModel::efficient_hpc(),
+            seed,
+        };
+        row_from(format!("gate@{threshold:.2}"), &run(&scenario))
+    })
 }
 
 /// A2 — checkpoint-overhead sweep: as writing a checkpoint gets more
@@ -82,65 +79,59 @@ pub fn checkpoint_overhead_sweep(region: Region, days: usize, seed: u64) -> Vec<
         checkpointable_fraction: 1.0,
         ..ablation_workload()
     };
-    [1.0, 5.0, 30.0, 120.0]
-        .iter()
-        .map(|&overhead_min| {
-            let scenario = Scenario {
-                name: format!("A2-{overhead_min}"),
-                cluster: ablation_cluster(),
-                region: profile.clone(),
-                days,
-                workload: workload.clone(),
-                policy: Policy::EasyBackfill,
-                queues: None,
-                scaling: None,
-                checkpoint: Some(CheckpointCfg {
-                    checkpoint_overhead: SimDuration::from_mins(overhead_min),
-                    restart_overhead: SimDuration::from_mins(overhead_min / 2.0),
-                    ..CheckpointCfg::default()
-                }),
-                malleable: false,
-                pue: PueModel::efficient_hpc(),
-                seed,
-            };
-            row_from(format!("ckpt-{overhead_min:.0}min"), &run(&scenario))
-        })
-        .collect()
+    sweep(&[1.0, 5.0, 30.0, 120.0], |&overhead_min| {
+        let scenario = Scenario {
+            name: format!("A2-{overhead_min}"),
+            cluster: ablation_cluster(),
+            region: profile.clone(),
+            days,
+            workload: workload.clone(),
+            policy: Policy::EasyBackfill,
+            queues: None,
+            scaling: None,
+            checkpoint: Some(CheckpointCfg {
+                checkpoint_overhead: SimDuration::from_mins(overhead_min),
+                restart_overhead: SimDuration::from_mins(overhead_min / 2.0),
+                ..CheckpointCfg::default()
+            }),
+            malleable: false,
+            pue: PueModel::efficient_hpc(),
+            seed,
+        };
+        row_from(format!("ckpt-{overhead_min:.0}min"), &run(&scenario))
+    })
 }
 
 /// A3 — malleable-adoption sweep: violation time under a dropping power
 /// budget as a function of the malleable job fraction.
 pub fn malleable_fraction_sweep(region: Region, days: usize, seed: u64) -> Vec<OpsRow> {
     let profile = RegionProfile::january_2023(region);
-    let trace = generate_calibrated(&profile, days, seed);
+    let trace = calibrated_trace(&profile, days, seed);
     let threshold = ScalingPolicy::Threshold {
         floor: Power::from_kw(95.0),
         ceiling: Power::from_kw(285.0),
         threshold: trace.series().stats().mean(),
     };
-    [0.0, 0.25, 0.5, 0.75, 1.0]
-        .iter()
-        .map(|&frac| {
-            let scenario = Scenario {
-                name: format!("A3-{frac}"),
-                cluster: ablation_cluster(),
-                region: profile.clone(),
-                days,
-                workload: WorkloadConfig {
-                    malleable_fraction: frac,
-                    ..ablation_workload()
-                },
-                policy: Policy::EasyBackfill,
-                queues: None,
-                scaling: Some(threshold.clone()),
-                checkpoint: None,
-                malleable: true,
-                pue: PueModel::efficient_hpc(),
-                seed,
-            };
-            row_from(format!("malleable-{:.0}%", frac * 100.0), &run(&scenario))
-        })
-        .collect()
+    sweep(&[0.0, 0.25, 0.5, 0.75, 1.0], |&frac| {
+        let scenario = Scenario {
+            name: format!("A3-{frac}"),
+            cluster: ablation_cluster(),
+            region: profile.clone(),
+            days,
+            workload: WorkloadConfig {
+                malleable_fraction: frac,
+                ..ablation_workload()
+            },
+            policy: Policy::EasyBackfill,
+            queues: None,
+            scaling: Some(threshold.clone()),
+            checkpoint: None,
+            malleable: true,
+            pue: PueModel::efficient_hpc(),
+            seed,
+        };
+        row_from(format!("malleable-{:.0}%", frac * 100.0), &run(&scenario))
+    })
 }
 
 /// A4 — forecast-quality ablation for §3.1: the budget follows forecast
@@ -157,9 +148,13 @@ pub struct ForecastAblationRow {
 }
 
 /// Runs A4.
-pub fn forecast_scaling_ablation(region: Region, days: usize, seed: u64) -> Vec<ForecastAblationRow> {
+pub fn forecast_scaling_ablation(
+    region: Region,
+    days: usize,
+    seed: u64,
+) -> Vec<ForecastAblationRow> {
     let profile = RegionProfile::january_2023(region);
-    let trace = generate_calibrated(&profile, days, seed);
+    let trace = calibrated_trace(&profile, days, seed);
     let mean_ci = trace.series().stats().mean();
     let policy = ScalingPolicy::Linear {
         floor: Power::from_kw(95.0),
@@ -169,7 +164,7 @@ pub fn forecast_scaling_ablation(region: Region, days: usize, seed: u64) -> Vec<
     };
     let live = policy.budget_series(&trace);
 
-    let run_with = |label: &str, budget: sustain_sim_core::series::TimeSeries| {
+    let run_with = |label: &str, budget: &sustain_sim_core::series::TimeSeries| {
         let mae_kw = budget
             .values()
             .iter()
@@ -209,8 +204,8 @@ pub fn forecast_scaling_ablation(region: Region, days: usize, seed: u64) -> Vec<
             cluster: scenario.cluster.clone(),
             policy: scenario.policy.clone(),
             queues: None,
-            carbon_trace: Some(trace.clone()),
-            power_budget: Some(budget),
+            carbon_trace: Some((*trace).clone()),
+            power_budget: Some(budget.clone()),
             checkpoint: scenario.checkpoint.clone(),
             fair_share: None,
             failures: None,
@@ -227,37 +222,41 @@ pub fn forecast_scaling_ablation(region: Region, days: usize, seed: u64) -> Vec<
         }
     };
 
+    // Forecasting is stateful (`&mut dyn Forecaster`), so the budget
+    // series are produced serially; the expensive scheduler runs then
+    // fan out over the sweep driver.
     let mut forecasters: Vec<(&str, Box<dyn Forecaster>)> = vec![
         ("persistence", Box::new(Persistence::default())),
         ("seasonal-naive", Box::new(SeasonalNaive::daily())),
         ("holt-winters", Box::new(HoltWinters::daily_default())),
     ];
-    let mut rows = vec![run_with("live", live.clone())];
+    let mut variants = vec![("live", live.clone())];
     for (label, fc) in forecasters.iter_mut() {
-        let budget = policy.budget_series_forecast(&trace, fc.as_mut(), 96);
-        rows.push(run_with(label, budget));
+        variants.push((
+            label,
+            policy.budget_series_forecast(&trace, fc.as_mut(), 96),
+        ));
     }
-    rows
+    sweep(&variants, |(label, budget)| run_with(label, budget))
 }
 
 /// A5 — backfilling flavour: FCFS vs EASY vs conservative on the same
 /// workload (no carbon coupling): the classic wait/utilization trade.
 pub fn backfill_flavour_sweep(region: Region, days: usize, seed: u64) -> Vec<OpsRow> {
     let profile = RegionProfile::january_2023(region);
-    [
+    let flavours = [
         ("fcfs", Policy::Fcfs),
         ("easy", Policy::EasyBackfill),
         ("conservative", Policy::ConservativeBackfill),
-    ]
-    .into_iter()
-    .map(|(label, policy)| {
+    ];
+    sweep(&flavours, |(label, policy)| {
         let scenario = Scenario {
             name: format!("A5-{label}"),
             cluster: ablation_cluster(),
             region: profile.clone(),
             days,
             workload: ablation_workload(),
-            policy,
+            policy: policy.clone(),
             queues: None,
             scaling: None,
             checkpoint: None,
@@ -267,9 +266,7 @@ pub fn backfill_flavour_sweep(region: Region, days: usize, seed: u64) -> Vec<Ops
         };
         row_from(label.to_string(), &run(&scenario))
     })
-    .collect()
 }
-
 
 /// One row of the A6 failure-resilience sweep.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -305,54 +302,53 @@ pub fn failure_resilience_sweep(days: usize, seed: u64) -> Vec<FailureRow> {
         D::from_days(days as f64),
         seed.wrapping_add(1),
     );
-    let mut rows = Vec::new();
-    for &mtbf_days in &[None, Some(120.0), Some(30.0), Some(10.0)] {
-        for &checkpointing in &[false, true] {
-            let mut cfg = SimConfig::easy(ablation_cluster());
-            if let Some(days) = mtbf_days {
-                cfg.failures = Some(FailureModel {
-                    node_mtbf: D::from_days(days),
-                    mttr: D::from_hours(4.0),
-                    seed,
-                });
-            }
-            if checkpointing {
-                cfg.checkpoint = Some(CheckpointCfg {
-                    suspend_threshold_fraction: f64::INFINITY,
-                    resume_threshold_fraction: f64::INFINITY,
-                    ..CheckpointCfg::default()
-                });
-            }
-            let jobs_variant: Vec<_> = jobs
-                .iter()
-                .cloned()
-                .map(|mut j| {
-                    j.checkpointable = checkpointing;
-                    j
-                })
-                .collect();
-            let out = simulate(&jobs_variant, &cfg);
-            rows.push(FailureRow {
-                node_mtbf_days: mtbf_days,
-                checkpointing,
-                completed: out.records.len(),
-                restarts: out.records.iter().map(|r| r.restarts).sum(),
-                compute_hours: out
-                    .records
-                    .iter()
-                    .map(|r| r.compute_time().as_hours())
-                    .sum(),
-                makespan_days: out.makespan.as_days(),
+    let combos: Vec<(Option<f64>, bool)> = [None, Some(120.0), Some(30.0), Some(10.0)]
+        .iter()
+        .flat_map(|&mtbf| [(mtbf, false), (mtbf, true)])
+        .collect();
+    sweep(&combos, |&(mtbf_days, checkpointing)| {
+        let mut cfg = SimConfig::easy(ablation_cluster());
+        if let Some(days) = mtbf_days {
+            cfg.failures = Some(FailureModel {
+                node_mtbf: D::from_days(days),
+                mttr: D::from_hours(4.0),
+                seed,
             });
         }
-    }
-    rows
+        if checkpointing {
+            cfg.checkpoint = Some(CheckpointCfg {
+                suspend_threshold_fraction: f64::INFINITY,
+                resume_threshold_fraction: f64::INFINITY,
+                ..CheckpointCfg::default()
+            });
+        }
+        let jobs_variant: Vec<_> = jobs
+            .iter()
+            .cloned()
+            .map(|mut j| {
+                j.checkpointable = checkpointing;
+                j
+            })
+            .collect();
+        let out = simulate(&jobs_variant, &cfg);
+        FailureRow {
+            node_mtbf_days: mtbf_days,
+            checkpointing,
+            completed: out.records.len(),
+            restarts: out.records.iter().map(|r| r.restarts).sum(),
+            compute_hours: out
+                .records
+                .iter()
+                .map(|r| r.compute_time().as_hours())
+                .sum(),
+            makespan_days: out.makespan.as_days(),
+        }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
 
     /// A6: reliability baseline has zero restarts; under failures,
     /// checkpointing cuts redone compute.

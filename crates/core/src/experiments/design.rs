@@ -157,7 +157,14 @@ mod tests {
     #[test]
     fn e7_extreme_splits_are_poor_or_infeasible() {
         let r = budget_tradeoff();
-        let joint_work = r.rows.last().unwrap().plan.as_ref().unwrap().total_work_exaflop;
+        let joint_work = r
+            .rows
+            .last()
+            .unwrap()
+            .plan
+            .as_ref()
+            .unwrap()
+            .total_work_exaflop;
         // Spending 90 % on embodied leaves too little operational budget.
         let row90 = r
             .rows

@@ -69,9 +69,8 @@ pub fn table1_lrz_lifetimes() -> Table1Result {
     let rows = lrz_system_history();
     let embodied = SystemInventory::supermuc_ng().total_embodied_with_platform();
     let records: Vec<_> = rows.iter().cloned().map(|r| (r, embodied)).collect();
-    let amortization = sustain_carbon_model::lifecycle::fleet_amortization_timeline(
-        &records, 5, 2012, 2030,
-    );
+    let amortization =
+        sustain_carbon_model::lifecycle::fleet_amortization_timeline(&records, 5, 2012, 2030);
     Table1Result { rows, amortization }
 }
 
@@ -162,9 +161,7 @@ pub struct LrzDominanceResult {
 /// Runs the LRZ dominance check on SuperMUC-NG.
 pub fn lrz_embodied_dominance() -> LrzDominanceResult {
     let sys = SystemInventory::supermuc_ng();
-    let energy = sys
-        .nominal_power
-        .for_duration(SimDuration::from_years(5.0));
+    let energy = sys.nominal_power.for_duration(SimDuration::from_years(5.0));
     LrzDominanceResult {
         embodied_t: sys.total_embodied_with_platform().tons(),
         operational_hydro_t: energy

@@ -2,10 +2,10 @@
 //! across European regions in January 2023, plus the average-vs-marginal
 //! demonstration behind the figure's "marginal" qualifier.
 
+use crate::sweep::{calibrated_trace, sweep};
 use serde::{Deserialize, Serialize};
 use sustain_grid::marginal::MeritOrderStack;
 use sustain_grid::region::{Region, RegionProfile};
-use sustain_grid::synth::generate_calibrated;
 
 /// One region's Fig. 2 series and summary statistics.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -37,23 +37,20 @@ pub struct Fig2Result {
 
 /// Runs E3: synthesizes January 2023 for every region.
 pub fn fig2_carbon_intensity(seed: u64) -> Fig2Result {
-    let rows: Vec<Fig2Row> = Region::ALL
-        .iter()
-        .map(|&region| {
-            let profile = RegionProfile::january_2023(region);
-            let trace = generate_calibrated(&profile, 31, seed);
-            let daily = trace.daily_means();
-            let stats = trace.daily_stats();
-            Fig2Row {
-                region: region.name().to_string(),
-                daily_means: daily.values().to_vec(),
-                monthly_mean: stats.mean(),
-                daily_std: stats.std_dev(),
-                min_daily: stats.min(),
-                max_daily: stats.max(),
-            }
-        })
-        .collect();
+    let rows: Vec<Fig2Row> = sweep(&Region::ALL, |&region| {
+        let profile = RegionProfile::january_2023(region);
+        let trace = calibrated_trace(&profile, 31, seed);
+        let daily = trace.daily_means();
+        let stats = trace.daily_stats();
+        Fig2Row {
+            region: region.name().to_string(),
+            daily_means: daily.values().to_vec(),
+            monthly_mean: stats.mean(),
+            daily_std: stats.std_dev(),
+            min_daily: stats.min(),
+            max_daily: stats.max(),
+        }
+    });
     let fi = rows.iter().find(|r| r.region == "Finland").unwrap();
     let fr = rows.iter().find(|r| r.region == "France").unwrap();
     Fig2Result {
@@ -67,17 +64,14 @@ pub fn fig2_carbon_intensity(seed: u64) -> Fig2Result {
 /// `(demand_gw, average_ci, marginal_ci)` rows over a demand sweep.
 pub fn average_vs_marginal_sweep() -> Vec<(f64, f64, f64)> {
     let stack = MeritOrderStack::european_winter();
-    [20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 79.0]
-        .iter()
-        .map(|&gw| {
-            let mw = gw * 1000.0;
-            (
-                gw,
-                stack.average_intensity(mw).grams_per_kwh(),
-                stack.marginal_intensity(mw).grams_per_kwh(),
-            )
-        })
-        .collect()
+    sweep(&[20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 79.0], |&gw| {
+        let mw = gw * 1000.0;
+        (
+            gw,
+            stack.average_intensity(mw).grams_per_kwh(),
+            stack.marginal_intensity(mw).grams_per_kwh(),
+        )
+    })
 }
 
 #[cfg(test)]

@@ -36,13 +36,12 @@ pub use ablation::{
 
 pub use design::{budget_tradeoff, dse_carbon_metrics};
 pub use embodied::{
-    chiplet_packaging, claim_reuse_vs_recycle, fig1_embodied_breakdown,
-    lrz_embodied_dominance, renewable_fraction_at_half_embodied, renewable_share_sweep,
-    table1_lrz_lifetimes,
+    chiplet_packaging, claim_reuse_vs_recycle, fig1_embodied_breakdown, lrz_embodied_dominance,
+    renewable_fraction_at_half_embodied, renewable_share_sweep, table1_lrz_lifetimes,
 };
 pub use grid_exp::{average_vs_marginal_sweep, fig2_carbon_intensity};
-pub use runtime::countdown_savings;
 pub use operations::{
     carbon_aware_power_scaling, carbon_aware_scheduling, malleability_under_power,
 };
+pub use runtime::countdown_savings;
 pub use users::{billing_demo, carbon500, green_incentives, user_overallocation};

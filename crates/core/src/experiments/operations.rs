@@ -3,9 +3,9 @@
 //! carbon-aware scheduling + checkpointing (E10).
 
 use crate::scenario::{run, Scenario, ScenarioResult};
+use crate::sweep::{calibrated_trace, sweep};
 use serde::{Deserialize, Serialize};
 use sustain_grid::region::{Region, RegionProfile};
-use sustain_grid::synth::generate_calibrated;
 use sustain_power::carbon_scaler::ScalingPolicy;
 use sustain_scheduler::cluster::Cluster;
 use sustain_scheduler::sim::{CarbonAwareCfg, CheckpointCfg, Policy};
@@ -84,7 +84,7 @@ fn scaling_bounds() -> (Power, Power) {
 /// budget.
 pub fn carbon_aware_power_scaling(region: Region, days: usize, seed: u64) -> Vec<OpsRow> {
     let profile = RegionProfile::january_2023(region);
-    let trace = generate_calibrated(&profile, days, seed);
+    let trace = calibrated_trace(&profile, days, seed);
     let mean_ci = trace.series().stats().mean();
     let (floor, ceiling) = scaling_bounds();
 
@@ -126,13 +126,13 @@ pub fn carbon_aware_power_scaling(region: Region, days: usize, seed: u64) -> Vec
         ..ops_workload()
     };
 
-    let mut rows = Vec::new();
-    for (label, policy) in [
+    let policies = [
         ("static", static_policy),
         ("linear", linear),
         ("threshold", threshold),
         ("carbon-rate-cap", rate_cap),
-    ] {
+    ];
+    sweep(&policies, |(label, policy)| {
         let scenario = Scenario {
             name: format!("E8-{label}"),
             cluster: ops_cluster(),
@@ -141,15 +141,14 @@ pub fn carbon_aware_power_scaling(region: Region, days: usize, seed: u64) -> Vec
             workload: workload.clone(),
             policy: Policy::EasyBackfill,
             queues: None,
-            scaling: Some(policy),
+            scaling: Some(policy.clone()),
             checkpoint: Some(budget_ckpt.clone()),
             malleable: false,
             pue: sustain_power::pue::PueModel::efficient_hpc(),
             seed,
         };
-        rows.push(OpsRow::from_result(label, &run(&scenario)));
-    }
-    rows
+        OpsRow::from_result(*label, &run(&scenario))
+    })
 }
 
 /// E9 — malleability under a carbon-driven power budget: the same
@@ -157,7 +156,7 @@ pub fn carbon_aware_power_scaling(region: Region, days: usize, seed: u64) -> Vec
 pub fn malleability_under_power(region: Region, days: usize, seed: u64) -> Vec<OpsRow> {
     let profile = RegionProfile::january_2023(region);
     let (floor, ceiling) = scaling_bounds();
-    let trace = generate_calibrated(&profile, days, seed);
+    let trace = calibrated_trace(&profile, days, seed);
     let threshold = ScalingPolicy::Threshold {
         floor,
         ceiling,
@@ -167,25 +166,26 @@ pub fn malleability_under_power(region: Region, days: usize, seed: u64) -> Vec<O
         malleable_fraction: 0.7,
         ..ops_workload()
     };
-    let mut rows = Vec::new();
-    for (label, malleable) in [("rigid", false), ("malleable", true)] {
-        let scenario = Scenario {
-            name: format!("E9-{label}"),
-            cluster: ops_cluster(),
-            region: profile.clone(),
-            days,
-            workload: workload.clone(),
-            policy: Policy::EasyBackfill,
-            queues: None,
-            scaling: Some(threshold.clone()),
-            checkpoint: None,
-            malleable,
-            pue: sustain_power::pue::PueModel::efficient_hpc(),
-            seed,
-        };
-        rows.push(OpsRow::from_result(label, &run(&scenario)));
-    }
-    rows
+    sweep(
+        &[("rigid", false), ("malleable", true)],
+        |&(label, malleable)| {
+            let scenario = Scenario {
+                name: format!("E9-{label}"),
+                cluster: ops_cluster(),
+                region: profile.clone(),
+                days,
+                workload: workload.clone(),
+                policy: Policy::EasyBackfill,
+                queues: None,
+                scaling: Some(threshold.clone()),
+                checkpoint: None,
+                malleable,
+                pue: sustain_power::pue::PueModel::efficient_hpc(),
+                seed,
+            };
+            OpsRow::from_result(label, &run(&scenario))
+        },
+    )
 }
 
 /// E10 — carbon-aware scheduling and checkpointing: EASY vs the §3.3
@@ -206,25 +206,23 @@ pub fn carbon_aware_scheduling(region: Region, days: usize, seed: u64) -> Vec<Op
         ("carbon-gate", gate.clone(), None),
         ("gate+checkpoint", gate, Some(CheckpointCfg::default())),
     ];
-    let mut rows = Vec::new();
-    for (label, policy, checkpoint) in configs {
+    sweep(&configs, |(label, policy, checkpoint)| {
         let scenario = Scenario {
             name: format!("E10-{label}"),
             cluster: ops_cluster(),
             region: profile.clone(),
             days,
             workload: workload.clone(),
-            policy,
+            policy: policy.clone(),
             queues: None,
             scaling: None,
-            checkpoint,
+            checkpoint: checkpoint.clone(),
             malleable: false,
             pue: sustain_power::pue::PueModel::efficient_hpc(),
             seed,
         };
-        rows.push(OpsRow::from_result(label, &run(&scenario)));
-    }
-    rows
+        OpsRow::from_result(*label, &run(&scenario))
+    })
 }
 
 #[cfg(test)]

@@ -9,9 +9,7 @@
 use serde::{Deserialize, Serialize};
 use sustain_grid::region::{Region, RegionProfile};
 use sustain_sim_core::units::Carbon;
-use sustain_workload::phases::{
-    run_phases, synth_phases, CountdownGovernor, CpuFreqModel,
-};
+use sustain_workload::phases::{run_phases, synth_phases, CountdownGovernor, CpuFreqModel};
 
 /// One row of the E14 sweep.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -46,8 +44,7 @@ pub fn countdown_savings(region: Region, seed: u64) -> Vec<CountdownRow> {
             let governed = run_phases(&phases, &cpu, &on);
             let baseline = run_phases(&phases, &cpu, &off);
             let saving = 1.0 - governed.energy.joules() / baseline.energy.joules();
-            let slowdown =
-                governed.wall_time.as_secs() / baseline.wall_time.as_secs() - 1.0;
+            let slowdown = governed.wall_time.as_secs() / baseline.wall_time.as_secs() - 1.0;
             let saved_kwh = baseline.energy.kwh() - governed.energy.kwh();
             CountdownRow {
                 communication_fraction: comm,

@@ -2,11 +2,11 @@
 //! incentives (E11b), and the Carbon500 ranking (E12).
 
 use crate::scenario::{run, Scenario};
+use crate::sweep::{calibrated_trace, sweep};
 use serde::{Deserialize, Serialize};
 use sustain_carbon_model::system::SystemInventory;
 use sustain_grid::green::GreenDetector;
 use sustain_grid::region::{Region, RegionProfile};
-use sustain_grid::synth::generate_calibrated;
 use sustain_power::pue::PueModel;
 use sustain_scheduler::cluster::Cluster;
 use sustain_scheduler::sim::Policy;
@@ -39,10 +39,9 @@ pub struct OverallocationRow {
 /// over-allocating users raises energy and carbon for the same science.
 pub fn user_overallocation(region: Region, days: usize, seed: u64) -> Vec<OverallocationRow> {
     let profile = RegionProfile::january_2023(region);
-    let fractions = [0.0, 0.2, 0.4, 0.6];
-    let mut rows: Vec<OverallocationRow> = Vec::new();
-    let mut baseline: Option<(f64, f64)> = None;
-    for &frac in &fractions {
+    // The expensive runs fan out; the excess-vs-baseline columns need the
+    // 0 % row's totals, so they are filled in a serial post-pass.
+    let mut rows = sweep(&[0.0, 0.2, 0.4, 0.6], |&frac| {
         let workload = WorkloadConfig {
             arrivals_per_hour: 4.0,
             max_nodes: 128,
@@ -65,18 +64,20 @@ pub fn user_overallocation(region: Region, days: usize, seed: u64) -> Vec<Overal
             seed,
         };
         let r = run(&scenario);
-        let energy = r.outcome.job_energy.kwh();
-        let carbon = r.outcome.carbon.tons();
-        let (base_e, base_c) = *baseline.get_or_insert((energy, carbon));
-        rows.push(OverallocationRow {
+        OverallocationRow {
             overallocating_fraction: frac,
             completed: r.outcome.records.len(),
-            job_energy_kwh: energy,
-            job_carbon_t: carbon,
+            job_energy_kwh: r.outcome.job_energy.kwh(),
+            job_carbon_t: r.outcome.carbon.tons(),
             wait_p50_h: r.outcome.wait.median / 3600.0,
-            excess_energy_kwh: energy - base_e,
-            excess_carbon_kg: (carbon - base_c) * 1000.0,
-        });
+            excess_energy_kwh: 0.0,
+            excess_carbon_kg: 0.0,
+        }
+    });
+    let (base_e, base_c) = (rows[0].job_energy_kwh, rows[0].job_carbon_t);
+    for row in &mut rows {
+        row.excess_energy_kwh = row.job_energy_kwh - base_e;
+        row.excess_carbon_kg = (row.job_carbon_t - base_c) * 1000.0;
     }
     rows
 }
@@ -98,7 +99,7 @@ pub struct IncentiveRow {
 /// save more carbon at the cost of billed core-hours.
 pub fn green_incentives(region: Region, seed: u64) -> Vec<IncentiveRow> {
     let profile = RegionProfile::january_2023(region);
-    let trace = generate_calibrated(&profile, 31, seed);
+    let trace = calibrated_trace(&profile, 31, seed);
     let detector = GreenDetector::default();
     let mean_ci = trace.series().stats().mean();
     // Mean CI inside green windows.
@@ -112,24 +113,20 @@ pub fn green_incentives(region: Region, seed: u64) -> Vec<IncentiveRow> {
     let elasticity = ElasticityModel::default();
     let monthly_energy_kwh = 1.0e6; // 1 GWh/month site
 
-    [0.0, 0.1, 0.25, 0.5, 0.75]
-        .iter()
-        .map(|&discount| {
-            let shifted = elasticity.shifted_fraction(discount);
-            let saving =
-                elasticity.carbon_saving(monthly_energy_kwh, mean_ci, green_ci, discount);
-            // Revenue: unshifted load pays 1.0; shifted load pays the green
-            // price; load already green (≈ time fraction) also discounts.
-            let green_share = (shifted + (1.0 - shifted) * green_fraction_of_time).min(1.0);
-            let relative_revenue = 1.0 - discount * green_share;
-            IncentiveRow {
-                discount,
-                shifted_fraction: shifted,
-                monthly_saving_t: saving.tons(),
-                relative_revenue,
-            }
-        })
-        .collect()
+    sweep(&[0.0, 0.1, 0.25, 0.5, 0.75], |&discount| {
+        let shifted = elasticity.shifted_fraction(discount);
+        let saving = elasticity.carbon_saving(monthly_energy_kwh, mean_ci, green_ci, discount);
+        // Revenue: unshifted load pays 1.0; shifted load pays the green
+        // price; load already green (≈ time fraction) also discounts.
+        let green_share = (shifted + (1.0 - shifted) * green_fraction_of_time).min(1.0);
+        let relative_revenue = 1.0 - discount * green_share;
+        IncentiveRow {
+            discount,
+            shifted_fraction: shifted,
+            monthly_saving_t: saving.tons(),
+            relative_revenue,
+        }
+    })
 }
 
 /// E12 — the Carbon500 list over the modelled systems at their real (or
@@ -151,12 +148,7 @@ pub fn carbon500() -> Vec<Carbon500Row> {
             ci(350.0), // German grid mix
             life,
         ),
-        Carbon500Entry::from_inventory(
-            &SystemInventory::hawk(),
-            19_300_000.0,
-            ci(350.0),
-            life,
-        ),
+        Carbon500Entry::from_inventory(&SystemInventory::hawk(), 19_300_000.0, ci(350.0), life),
         Carbon500Entry::from_inventory(
             &SystemInventory::frontier_like(),
             1_200_000_000.0,
@@ -194,7 +186,8 @@ pub fn billing_demo(seed: u64) -> BillingDemo {
         ..Scenario::baseline("billing", profile.clone(), 7)
     };
     let r = run(&scenario);
-    let trace = generate_calibrated(&profile, 7, seed);
+    // Same (profile, days, seed) key the scenario run used — a cache hit.
+    let trace = calibrated_trace(&profile, 7, seed);
     let detector = GreenDetector::default();
     let scheme = IncentiveScheme::default();
     let mut total = 0.0;

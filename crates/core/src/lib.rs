@@ -38,6 +38,7 @@
 pub mod experiments;
 pub mod scenario;
 pub mod site;
+pub mod sweep;
 
 pub use scenario::{run, Scenario, ScenarioResult};
 pub use site::{lifetime_report, LifetimeCarbonReport, Site};
@@ -48,6 +49,7 @@ pub mod prelude {
     pub use crate::experiments::*;
     pub use crate::scenario::{run, Scenario, ScenarioResult};
     pub use crate::site::{lifetime_report, LifetimeCarbonReport, Site};
+    pub use crate::sweep::{calibrated_trace, set_threads, sweep, sweep_seeded};
     pub use sustain_carbon_model::metrics::DesignMetric;
     pub use sustain_carbon_model::system::SystemInventory;
     pub use sustain_grid::green::GreenDetector;
@@ -56,9 +58,7 @@ pub mod prelude {
     pub use sustain_grid::trace::CarbonTrace;
     pub use sustain_power::carbon_scaler::ScalingPolicy;
     pub use sustain_scheduler::cluster::Cluster;
-    pub use sustain_scheduler::sim::{
-        simulate, CarbonAwareCfg, CheckpointCfg, Policy, SimConfig,
-    };
+    pub use sustain_scheduler::sim::{simulate, CarbonAwareCfg, CheckpointCfg, Policy, SimConfig};
     pub use sustain_sim_core::time::{SimDuration, SimTime};
     pub use sustain_sim_core::units::{Carbon, CarbonIntensity, Energy, Power};
     pub use sustain_workload::job::{Job, JobBuilder, JobClass, JobId};

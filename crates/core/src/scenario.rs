@@ -10,7 +10,7 @@
 use serde::{Deserialize, Serialize};
 use sustain_grid::green::GreenDetector;
 use sustain_grid::region::RegionProfile;
-use sustain_grid::synth::generate_calibrated;
+use sustain_grid::synth::generate_calibrated_arc;
 use sustain_power::carbon_scaler::ScalingPolicy;
 use sustain_power::pue::PueModel;
 use sustain_scheduler::cluster::Cluster;
@@ -91,7 +91,9 @@ pub struct ScenarioResult {
 
 /// Runs a scenario.
 pub fn run(scenario: &Scenario) -> ScenarioResult {
-    let trace = generate_calibrated(&scenario.region, scenario.days, scenario.seed);
+    // Served from the process-wide trace cache: every point of a sweep
+    // that shares this (region, days, seed) window reuses one trace.
+    let trace = generate_calibrated_arc(&scenario.region, scenario.days, scenario.seed);
     let horizon = SimDuration::from_days(scenario.days as f64);
     let jobs = generate(&scenario.workload, horizon, scenario.seed.wrapping_add(1));
 
@@ -100,7 +102,7 @@ pub fn run(scenario: &Scenario) -> ScenarioResult {
         cluster: scenario.cluster.clone(),
         policy: scenario.policy.clone(),
         queues: scenario.queues.clone(),
-        carbon_trace: Some(trace.clone()),
+        carbon_trace: Some((*trace).clone()),
         power_budget,
         checkpoint: scenario.checkpoint.clone(),
         fair_share: None,
@@ -152,11 +154,7 @@ mod tests {
     use sustain_grid::region::Region;
 
     fn small_scenario() -> Scenario {
-        let mut s = Scenario::baseline(
-            "test",
-            RegionProfile::january_2023(Region::Germany),
-            7,
-        );
+        let mut s = Scenario::baseline("test", RegionProfile::january_2023(Region::Germany), 7);
         s.cluster = Cluster::new(600);
         s
     }

@@ -124,30 +124,42 @@ pub fn lifetime_report(site: &Site) -> LifetimeCarbonReport {
     let facility_power = site.pue.facility_power(it_power);
     let root = RngStream::new(site.seed);
 
+    // Per-year seeds are derived serially from the site seed (same
+    // stream as ever), then the synthetic years fan out over the sweep
+    // driver — each year is independent given its seed.
+    let year_points: Vec<(u32, u64)> = (0..site.lifetime_years)
+        .map(|year| {
+            let mut sub = root.derive_idx(year as u64);
+            (year, rand::RngCore::next_u64(&mut sub))
+        })
+        .collect();
+    let year_results: Vec<(YearRow, Carbon)> =
+        crate::sweep::sweep(&year_points, |&(year, year_seed)| {
+            let trace = generate_year(&site.region, &site.seasonal, year_seed);
+            // Facility energy is drawn at constant power; the carbon follows
+            // the month-by-month mean intensities.
+            let mut op = Carbon::ZERO;
+            for (month, mean_ci) in monthly_means(&trace) {
+                let hours = sustain_grid::seasonal::DAYS_PER_MONTH[month] as f64 * 24.0;
+                let energy = Energy::from_kwh(facility_power.kw() * hours);
+                op += Carbon::from_grams(energy.kwh() * mean_ci);
+            }
+            let hours_per_year = 8760.0;
+            let row = YearRow {
+                year,
+                it_energy_mwh: it_power.kw() * hours_per_year / 1000.0,
+                facility_energy_mwh: facility_power.kw() * hours_per_year / 1000.0,
+                mean_ci: trace.series().stats().mean(),
+                operational_t: op.tons(),
+                amortized_embodied_t: amortized_per_year,
+            };
+            (row, op)
+        });
     let mut years = Vec::with_capacity(site.lifetime_years as usize);
     let mut operational_total = Carbon::ZERO;
-    for year in 0..site.lifetime_years {
-        let mut sub = root.derive_idx(year as u64);
-        let year_seed = rand::RngCore::next_u64(&mut sub);
-        let trace = generate_year(&site.region, &site.seasonal, year_seed);
-        // Facility energy is drawn at constant power; the carbon follows
-        // the month-by-month mean intensities.
-        let mut op = Carbon::ZERO;
-        for (month, mean_ci) in monthly_means(&trace) {
-            let hours = sustain_grid::seasonal::DAYS_PER_MONTH[month] as f64 * 24.0;
-            let energy = Energy::from_kwh(facility_power.kw() * hours);
-            op += Carbon::from_grams(energy.kwh() * mean_ci);
-        }
+    for (row, op) in year_results {
         operational_total += op;
-        let hours_per_year = 8760.0;
-        years.push(YearRow {
-            year,
-            it_energy_mwh: it_power.kw() * hours_per_year / 1000.0,
-            facility_energy_mwh: facility_power.kw() * hours_per_year / 1000.0,
-            mean_ci: trace.series().stats().mean(),
-            operational_t: op.tons(),
-            amortized_embodied_t: amortized_per_year,
-        });
+        years.push(row);
     }
 
     let total = embodied.tons() + operational_total.tons();

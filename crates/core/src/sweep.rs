@@ -1,0 +1,170 @@
+//! Shared sweep driver for the experiment suite.
+//!
+//! Every experiment in this workspace is a *sweep*: a list of points
+//! (thresholds, regions, policies, years, …) mapped independently to
+//! result rows. This module provides the single implementation behind
+//! all of them:
+//!
+//! * [`sweep`] fans the points out over the Rayon thread pool. The
+//!   pool's `collect` reassembles results in input order, so a parallel
+//!   sweep is **bit-for-bit identical** to a serial run regardless of
+//!   thread count (asserted in `tests/sweep_determinism.rs`).
+//! * [`sweep_seeded`] additionally derives one deterministic sub-seed
+//!   per point from a master seed — a SplitMix-seeded xoshiro stream
+//!   from [`sustain_sim_core::rng`], keyed by the point index — for
+//!   experiments whose points need independent randomness. The
+//!   derivation is pre-computed serially, so the seed a point receives
+//!   never depends on scheduling.
+//! * [`calibrated_trace`] resolves a `(region profile, days, seed)` key
+//!   through the process-wide [`TraceCache`], so a sweep whose points
+//!   share a grid window synthesizes and calibrates that trace exactly
+//!   once instead of once per point.
+//!
+//! The worker thread count is controlled by [`set_threads`] (the CLI's
+//! `--threads` flag) or the [`THREADS_ENV`] environment variable; `0`
+//! or unset means "use all available hardware parallelism".
+
+use std::sync::Arc;
+use sustain_grid::region::RegionProfile;
+use sustain_grid::synth::generate_calibrated_arc;
+use sustain_grid::trace::CarbonTrace;
+use sustain_sim_core::rng::RngStream;
+
+use rayon::prelude::*;
+
+pub use sustain_grid::synth::{global_trace_cache, TraceCache, TraceKey};
+
+/// Environment variable that sets the sweep worker-thread count
+/// (equivalent to the CLI's `--threads`). `0` = hardware parallelism.
+pub const THREADS_ENV: &str = "SUSTAIN_THREADS";
+
+/// Sets the number of worker threads used by all subsequent sweeps.
+/// `0` restores the default (all available hardware parallelism).
+/// `1` forces fully serial, in-thread execution.
+pub fn set_threads(n: usize) {
+    // The vendored pool has no persistent workers to rebuild, so
+    // repeated reconfiguration cannot fail.
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build_global()
+        .expect("thread count is a plain atomic store");
+}
+
+/// Number of worker threads sweeps will currently use.
+pub fn effective_threads() -> usize {
+    rayon::current_num_threads()
+}
+
+/// Applies [`THREADS_ENV`] if set (and parseable); returns the applied
+/// count. Call once at process start; an explicit `--threads` flag
+/// should be applied after this and wins.
+pub fn init_threads_from_env() -> Option<usize> {
+    let n: usize = std::env::var(THREADS_ENV).ok()?.parse().ok()?;
+    set_threads(n);
+    Some(n)
+}
+
+/// Maps every point to a row in parallel, preserving input order.
+///
+/// The output is exactly `points.iter().map(f).collect()` — same rows,
+/// same order, bit-for-bit — for every thread count, because the pool
+/// reassembles chunk results by index before returning.
+pub fn sweep<P, R, F>(points: &[P], f: F) -> Vec<R>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(&P) -> R + Sync,
+{
+    points.par_iter().map(f).collect()
+}
+
+/// The deterministic sub-seed [`sweep_seeded`] hands to point `index`
+/// under `master_seed`. Exposed so tests and callers that unroll a
+/// sweep manually can reproduce the exact per-point seeds.
+pub fn point_seed(master_seed: u64, index: u64) -> u64 {
+    let mut stream = RngStream::new(master_seed).derive_idx(index);
+    rand::RngCore::next_u64(&mut stream)
+}
+
+/// Like [`sweep`], but each point also receives an independent
+/// deterministic sub-seed derived from `master_seed` and its index
+/// (see [`point_seed`]). Use this for sweeps whose points must draw
+/// *different* randomness; sweeps that deliberately share one master
+/// seed across points (paired comparisons) should keep passing it
+/// through [`sweep`] unchanged.
+pub fn sweep_seeded<P, R, F>(master_seed: u64, points: &[P], f: F) -> Vec<R>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(&P, u64) -> R + Sync,
+{
+    let seeds: Vec<u64> = (0..points.len() as u64)
+        .map(|i| point_seed(master_seed, i))
+        .collect();
+    (0..points.len())
+        .into_par_iter()
+        .map(|i| f(&points[i], seeds[i]))
+        .collect()
+}
+
+/// Calibrated carbon trace for `(profile, days, seed)`, served from the
+/// process-wide [`TraceCache`]: the first caller generates and
+/// calibrates, every later caller (any thread) gets the same `Arc`.
+///
+/// # Panics
+/// Calibration rescales the spread of *daily means*, so `days` must be
+/// at least 2 (a single day has no daily-mean variance to scale).
+pub fn calibrated_trace(profile: &RegionProfile, days: usize, seed: u64) -> Arc<CarbonTrace> {
+    generate_calibrated_arc(profile, days, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sustain_grid::region::Region;
+
+    #[test]
+    fn sweep_matches_serial_map() {
+        let points: Vec<u64> = (0..257).collect();
+        let f = |&x: &u64| (x * x).wrapping_mul(0x9E37_79B9) as f64 / 7.0;
+        let serial: Vec<f64> = points.iter().map(f).collect();
+        let parallel = sweep(&points, f);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn sweep_seeded_is_deterministic_and_seeds_differ() {
+        let points = ["a", "b", "c", "d"];
+        let first = sweep_seeded(42, &points, |p, seed| (p.to_string(), seed));
+        let second = sweep_seeded(42, &points, |p, seed| (p.to_string(), seed));
+        assert_eq!(first, second);
+        for (i, (label, seed)) in first.iter().enumerate() {
+            assert_eq!(label, points[i]);
+            assert_eq!(*seed, point_seed(42, i as u64));
+        }
+        let mut seeds: Vec<u64> = first.iter().map(|(_, s)| *s).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), points.len(), "per-point seeds must differ");
+        let other = sweep_seeded(43, &points, |_, seed| seed);
+        assert_ne!(other, first.iter().map(|(_, s)| *s).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn calibrated_trace_is_cached() {
+        let profile = RegionProfile::january_2023(Region::Sweden);
+        let a = calibrated_trace(&profile, 3, 99);
+        let b = calibrated_trace(&profile, 3, 99);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn thread_knob_roundtrips() {
+        // Note: global state; other tests' *results* are unaffected by
+        // the thread count (order-preserving pool), only their speed.
+        set_threads(3);
+        assert_eq!(effective_threads(), 3);
+        set_threads(0);
+        assert!(effective_threads() >= 1);
+    }
+}

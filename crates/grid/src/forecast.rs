@@ -209,8 +209,7 @@ impl Forecaster for HoltWinters {
             self.level =
                 self.alpha * (x - seasonal) + (1.0 - self.alpha) * (self.level + self.trend);
             self.trend = self.beta * (self.level - last_level) + (1.0 - self.beta) * self.trend;
-            self.season[s_idx] =
-                self.gamma * (x - self.level) + (1.0 - self.gamma) * seasonal;
+            self.season[s_idx] = self.gamma * (x - self.level) + (1.0 - self.gamma) * seasonal;
         }
     }
 
@@ -264,12 +263,9 @@ mod tests {
     use sustain_sim_core::time::{SimDuration, SimTime};
 
     fn sine_series(hours: usize) -> TimeSeries {
-        TimeSeries::from_fn(
-            SimTime::ZERO,
-            SimDuration::from_hours(1.0),
-            hours,
-            |t| 300.0 + 50.0 * (t.hour_of_day() / 24.0 * std::f64::consts::TAU).sin(),
-        )
+        TimeSeries::from_fn(SimTime::ZERO, SimDuration::from_hours(1.0), hours, |t| {
+            300.0 + 50.0 * (t.hour_of_day() / 24.0 * std::f64::consts::TAU).sin()
+        })
     }
 
     #[test]
@@ -315,16 +311,11 @@ mod tests {
     #[test]
     fn holt_winters_tracks_trend_and_season() {
         // Linear trend + daily season.
-        let s = TimeSeries::from_fn(
-            SimTime::ZERO,
-            SimDuration::from_hours(1.0),
-            24 * 10,
-            |t| {
-                200.0
-                    + 0.5 * t.as_hours()
-                    + 30.0 * (t.hour_of_day() / 24.0 * std::f64::consts::TAU).sin()
-            },
-        );
+        let s = TimeSeries::from_fn(SimTime::ZERO, SimDuration::from_hours(1.0), 24 * 10, |t| {
+            200.0
+                + 0.5 * t.as_hours()
+                + 30.0 * (t.hour_of_day() / 24.0 * std::f64::consts::TAU).sin()
+        });
         let mut f = HoltWinters::daily_default();
         let score = backtest(&mut f, &s, 24 * 9, 24);
         assert!(score.mape < 3.0, "mape {}", score.mape);

@@ -74,19 +74,11 @@ impl SeasonalShape {
 /// from the January profile with its mean scaled by the seasonal factor,
 /// using an independent derived seed (so one month's draws cannot shift
 /// another's).
-pub fn generate_year(
-    profile: &RegionProfile,
-    shape: &SeasonalShape,
-    seed: u64,
-) -> CarbonTrace {
+pub fn generate_year(profile: &RegionProfile, shape: &SeasonalShape, seed: u64) -> CarbonTrace {
     shape.validate();
     let root = RngStream::new(seed);
     let mut values = Vec::with_capacity(365 * 24);
-    for (month, (&days, &factor)) in DAYS_PER_MONTH
-        .iter()
-        .zip(&shape.monthly_factor)
-        .enumerate()
-    {
+    for (month, (&days, &factor)) in DAYS_PER_MONTH.iter().zip(&shape.monthly_factor).enumerate() {
         let mut monthly = profile.clone();
         monthly.mean_g_per_kwh *= factor;
         // Volatility scales with the level (dirtier month → bigger swings).

@@ -10,6 +10,9 @@
 
 use crate::region::RegionProfile;
 use crate::trace::CarbonTrace;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 use sustain_sim_core::rng::RngStream;
 use sustain_sim_core::series::TimeSeries;
 use sustain_sim_core::time::{SimDuration, SimTime};
@@ -102,6 +105,138 @@ pub fn generate_calibrated(profile: &RegionProfile, days: usize, seed: u64) -> C
         return trace;
     }
     trace.with_moments(profile.mean_g_per_kwh, profile.synoptic_std)
+}
+
+/// Cache key for a calibrated trace: a fingerprint of every field that
+/// influences generation.
+///
+/// `RegionProfile` holds `f64` parameters (no `Eq`/`Hash`), and experiment
+/// code freely mutates individual fields (e.g. zeroing `synoptic_std`), so
+/// the key hashes the name bytes plus the exact bit patterns of all seven
+/// parameters rather than keying on a `Region` enum. Bit-pattern hashing is
+/// exact: two profiles collide only if generation would produce the same
+/// trace anyway (modulo 64-bit FNV collisions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceKey {
+    profile_fingerprint: u64,
+    days: usize,
+    seed: u64,
+}
+
+impl TraceKey {
+    /// Fingerprint a `(profile, days, seed)` generation request.
+    pub fn new(profile: &RegionProfile, days: usize, seed: u64) -> TraceKey {
+        let mut h = 0xCBF2_9CE4_8422_2325u64; // FNV-1a offset basis
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        mix(profile.name.as_bytes());
+        for param in [
+            profile.mean_g_per_kwh,
+            profile.diurnal_amplitude,
+            profile.solar_dip,
+            profile.synoptic_std,
+            profile.synoptic_corr_hours,
+            profile.noise_std,
+            profile.weekend_drop,
+        ] {
+            mix(&param.to_bits().to_le_bytes());
+        }
+        TraceKey {
+            profile_fingerprint: h,
+            days,
+            seed,
+        }
+    }
+}
+
+/// Process-wide cache of calibrated traces, shared by every sweep point.
+///
+/// Calibrated generation is the dominant fixed cost of a sweep point
+/// (31 days × 24 hourly samples plus moment calibration); sweeps re-request
+/// the same `(profile, days, seed)` for every policy/threshold variation,
+/// so one generation serves the whole sweep. Readers take a shared lock;
+/// the write lock is held only to insert.
+#[derive(Debug, Default)]
+pub struct TraceCache {
+    map: RwLock<HashMap<TraceKey, Arc<CarbonTrace>>>,
+}
+
+impl TraceCache {
+    /// Create an empty cache.
+    pub fn new() -> TraceCache {
+        TraceCache::default()
+    }
+
+    /// Fetch the calibrated trace for `(profile, days, seed)`, generating
+    /// and inserting it on first use. Hits return a clone of the cached
+    /// `Arc` (pointer-identical trace data).
+    pub fn get_or_generate(
+        &self,
+        profile: &RegionProfile,
+        days: usize,
+        seed: u64,
+    ) -> Arc<CarbonTrace> {
+        let key = TraceKey::new(profile, days, seed);
+        if let Some(hit) = self.map.read().get(&key) {
+            return Arc::clone(hit);
+        }
+        // Generate outside any lock: concurrent first requests may race and
+        // generate twice, but generation is deterministic so both produce
+        // identical traces and the first insert wins.
+        let trace = Arc::new(generate_calibrated(profile, days, seed));
+        let mut map = self.map.write();
+        Arc::clone(map.entry(key).or_insert(trace))
+    }
+
+    /// Number of cached traces.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// `true` if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all cached traces.
+    pub fn clear(&self) {
+        self.map.write().clear();
+    }
+}
+
+/// The process-wide [`TraceCache`] used by [`generate_calibrated_arc`].
+pub fn global_trace_cache() -> &'static TraceCache {
+    static CACHE: OnceLock<TraceCache> = OnceLock::new();
+    CACHE.get_or_init(TraceCache::new)
+}
+
+/// Cache-backed variant of [`generate_calibrated`]: returns a shared
+/// `Arc<CarbonTrace>` from the process-wide [`TraceCache`], generating at
+/// most once per distinct `(profile, days, seed)`.
+///
+/// This is the entry point sweep drivers should use; per-trace consumers
+/// that need an owned `CarbonTrace` can still clone out of the `Arc`.
+///
+/// ```
+/// use std::sync::Arc;
+/// use sustain_grid::region::{Region, RegionProfile};
+/// use sustain_grid::synth::generate_calibrated_arc;
+///
+/// let profile = RegionProfile::january_2023(Region::Finland);
+/// let a = generate_calibrated_arc(&profile, 31, 2023);
+/// let b = generate_calibrated_arc(&profile, 31, 2023);
+/// assert!(Arc::ptr_eq(&a, &b)); // second call is a cache hit
+/// ```
+pub fn generate_calibrated_arc(
+    profile: &RegionProfile,
+    days: usize,
+    seed: u64,
+) -> Arc<CarbonTrace> {
+    global_trace_cache().get_or_generate(profile, days, seed)
 }
 
 #[cfg(test)]
@@ -202,20 +337,41 @@ mod tests {
         assert!(v[13] < v[3], "midday {} vs night {}", v[13], v[3]);
     }
 
+    #[test]
+    fn cache_hits_are_arc_identical_and_match_uncached() {
+        let cache = TraceCache::new();
+        let p = RegionProfile::january_2023(Region::Italy);
+        let a = cache.get_or_generate(&p, 31, 11);
+        let b = cache.get_or_generate(&p, 31, 11);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+        let uncached = generate_calibrated(&p, 31, 11);
+        assert_eq!(a.series().values(), uncached.series().values());
+    }
+
+    #[test]
+    fn cache_distinguishes_mutated_profiles() {
+        let cache = TraceCache::new();
+        let p = RegionProfile::january_2023(Region::Germany);
+        let mut q = p.clone();
+        q.synoptic_std = 0.0;
+        let a = cache.get_or_generate(&p, 7, 5);
+        let b = cache.get_or_generate(&q, 7, 5);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_ne!(a.series().values(), b.series().values());
+        assert_eq!(cache.len(), 2);
+        // Days and seed are part of the key too.
+        cache.get_or_generate(&p, 8, 5);
+        cache.get_or_generate(&p, 7, 6);
+        assert_eq!(cache.len(), 4);
+    }
+
     /// Paper anchor: calibrated Finland trace reproduces σ = 47.21 exactly
     /// and the 2.1× France ratio.
     #[test]
     fn calibrated_finland_hits_anchors() {
-        let fi = generate_calibrated(
-            &RegionProfile::january_2023(Region::Finland),
-            31,
-            2023,
-        );
-        let fr = generate_calibrated(
-            &RegionProfile::january_2023(Region::France),
-            31,
-            2023,
-        );
+        let fi = generate_calibrated(&RegionProfile::january_2023(Region::Finland), 31, 2023);
+        let fr = generate_calibrated(&RegionProfile::january_2023(Region::France), 31, 2023);
         let fi_daily = fi.daily_means();
         let mut rs = sustain_sim_core::stats::RunningStats::new();
         for &v in fi_daily.values() {

@@ -74,7 +74,6 @@ impl CarbonTrace {
         energy.carbon_at(self.mean_over(from, to))
     }
 
-
     /// The end of the trace bucket containing `t` — the next sampling
     /// boundary strictly after `t`. Times before the start return the
     /// start; times at or past the end return `t + step` (the clamped
@@ -163,7 +162,6 @@ mod tests {
             Carbon::ZERO
         );
     }
-
 
     #[test]
     fn bucket_end_after_aligns_to_boundaries() {

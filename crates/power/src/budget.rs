@@ -112,10 +112,7 @@ pub fn divide(total: Power, requests: &[BudgetRequest], policy: DivisionPolicy) 
             }
         }
         DivisionPolicy::DemandProportional => {
-            let weight_sum: f64 = requests
-                .iter()
-                .map(|r| (r.demand - r.min).watts())
-                .sum();
+            let weight_sum: f64 = requests.iter().map(|r| (r.demand - r.min).watts()).sum();
             if weight_sum > 0.0 {
                 // One proportional pass, then waterfill any residue created
                 // by demand caps.

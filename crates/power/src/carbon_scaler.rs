@@ -106,9 +106,10 @@ impl ScalingPolicy {
     /// Computes the hourly budget series for a carbon trace (the monitor
     /// loop of §3.1, reading the live intensity each hour).
     pub fn budget_series(&self, trace: &CarbonTrace) -> TimeSeries {
-        trace
-            .series()
-            .map(|g| self.budget_at(CarbonIntensity::from_grams_per_kwh(g)).watts())
+        trace.series().map(|g| {
+            self.budget_at(CarbonIntensity::from_grams_per_kwh(g))
+                .watts()
+        })
     }
 
     /// Computes the hourly budget series using a forecaster fitted on a
@@ -167,9 +168,7 @@ pub fn evaluate_policy(policy: &ScalingPolicy, trace: &CarbonTrace) -> ScalingOu
         energy_kwh += e;
         carbon_g += e * g;
     }
-    let total_time = SimDuration::from_secs(
-        step.as_secs() * trace.series().len() as f64,
-    );
+    let total_time = SimDuration::from_secs(step.as_secs() * trace.series().len() as f64);
     let mean_power = if total_time.is_zero() {
         Power::ZERO
     } else {
@@ -259,11 +258,7 @@ mod tests {
     /// of the same mean power.
     #[test]
     fn linear_scaling_beats_static_per_kwh() {
-        let trace = generate_calibrated(
-            &RegionProfile::january_2023(Region::Finland),
-            31,
-            99,
-        );
+        let trace = generate_calibrated(&RegionProfile::january_2023(Region::Finland), 31, 99);
         let scaled = evaluate_policy(&linear(), &trace);
         // Static baseline matched to the same mean power.
         let static_outcome = evaluate_policy(
@@ -283,11 +278,7 @@ mod tests {
 
     #[test]
     fn budget_series_aligns_with_trace() {
-        let trace = generate_calibrated(
-            &RegionProfile::january_2023(Region::Germany),
-            7,
-            1,
-        );
+        let trace = generate_calibrated(&RegionProfile::january_2023(Region::Germany), 7, 1);
         let s = linear().budget_series(&trace);
         assert_eq!(s.len(), trace.series().len());
         assert_eq!(s.start(), trace.series().start());
@@ -298,11 +289,7 @@ mod tests {
 
     #[test]
     fn forecast_budget_series_close_to_live_on_smooth_grid() {
-        let trace = generate_calibrated(
-            &RegionProfile::january_2023(Region::France),
-            14,
-            5,
-        );
+        let trace = generate_calibrated(&RegionProfile::january_2023(Region::France), 14, 5);
         let mut fc = sustain_grid::forecast::SeasonalNaive::daily();
         let forecast = linear().budget_series_forecast(&trace, &mut fc, 72);
         let live = linear().budget_series(&trace);

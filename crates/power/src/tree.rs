@@ -98,9 +98,7 @@ impl BudgetNode {
         let requests: Vec<BudgetRequest> = self
             .children
             .iter()
-            .map(|c| {
-                BudgetRequest::new(c.name.clone(), c.min, c.demand).priority(c.priority)
-            })
+            .map(|c| BudgetRequest::new(c.name.clone(), c.min, c.demand).priority(c.priority))
             .collect();
         let shares = divide(self.assigned, &requests, self.policy);
         for (child, share) in self.children.iter_mut().zip(shares) {
@@ -156,9 +154,8 @@ impl BudgetNode {
     /// CPU/GPU/DRAM component leaves.
     pub fn example_site() -> BudgetNode {
         use crate::components::ComponentPowerModel;
-        let comp_leaf = |m: &ComponentPowerModel, tag: &str| {
-            BudgetNode::leaf(tag.to_string(), m.idle, m.max)
-        };
+        let comp_leaf =
+            |m: &ComponentPowerModel, tag: &str| BudgetNode::leaf(tag.to_string(), m.idle, m.max);
         let gpu_node = |name: &str| {
             BudgetNode::group(
                 name,

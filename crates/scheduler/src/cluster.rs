@@ -67,7 +67,11 @@ impl Allocation {
     /// # Panics
     /// Panics when overcommitting — the scheduler must check first.
     pub fn claim(&mut self, n: u32) {
-        assert!(n <= self.free, "overcommit: claiming {n} of {} free", self.free);
+        assert!(
+            n <= self.free,
+            "overcommit: claiming {n} of {} free",
+            self.free
+        );
         self.free -= n;
     }
 

@@ -85,8 +85,7 @@ pub fn rank_grow_candidates(
         .iter()
         .filter(|(_, _, current, max_useful)| current < max_useful)
         .map(|&(pos, model, current, max_useful)| {
-            let gain =
-                model.speedup((current + 1).min(max_useful)) - model.speedup(current.max(1));
+            let gain = model.speedup((current + 1).min(max_useful)) - model.speedup(current.max(1));
             GrowCandidate {
                 running_pos: pos,
                 current,
@@ -176,10 +175,7 @@ mod tests {
         let saturated = SpeedupModel::Amdahl {
             serial_fraction: 0.5,
         };
-        let ranked = rank_grow_candidates(&[
-            (0, saturated, 8, 64),
-            (1, linear, 8, 64),
-        ]);
+        let ranked = rank_grow_candidates(&[(0, saturated, 8, 64), (1, linear, 8, 64)]);
         assert_eq!(ranked.len(), 2);
         assert_eq!(ranked[0].running_pos, 1, "linear job should rank first");
         assert!(ranked[0].marginal_gain > ranked[1].marginal_gain);

@@ -35,7 +35,8 @@ impl Segment {
 
     /// Carbon emitted in this segment under a carbon trace.
     pub fn carbon(&self, trace: &CarbonTrace) -> Carbon {
-        self.energy().carbon_at(trace.mean_over(self.start, self.end))
+        self.energy()
+            .carbon_at(trace.mean_over(self.start, self.end))
     }
 
     /// Node-seconds consumed.
@@ -152,11 +153,7 @@ impl SimOutcome {
         idle_carbon: Carbon,
         budget_violation_seconds: f64,
     ) -> SimOutcome {
-        let makespan = records
-            .iter()
-            .map(|r| r.end)
-            .max()
-            .unwrap_or(SimTime::ZERO);
+        let makespan = records.iter().map(|r| r.end).max().unwrap_or(SimTime::ZERO);
         let waits: Vec<f64> = records.iter().map(|r| r.wait().as_secs()).collect();
         let slowdowns: Vec<f64> = records.iter().map(|r| r.bounded_slowdown()).collect();
         let node_seconds: f64 = records.iter().map(|r| r.node_seconds()).sum();
@@ -189,7 +186,6 @@ impl SimOutcome {
     }
 }
 
-
 /// Reconstructs the cluster's power profile from job records: mean total
 /// job power per `step` bucket over `[0, horizon)`. The verification
 /// artifact for power-budget experiments (compare against the budget
@@ -221,10 +217,7 @@ pub fn power_profile(
             }
         }
     }
-    let values = energy_j
-        .into_iter()
-        .map(|e| e / step.as_secs())
-        .collect();
+    let values = energy_j.into_iter().map(|e| e / step.as_secs()).collect();
     sustain_sim_core::series::TimeSeries::new(SimTime::ZERO, step, values)
 }
 
@@ -243,8 +236,7 @@ pub fn utilization_profile(
         for seg in &rec.segments {
             let mut t = seg.start;
             while t < seg.end {
-                let idx =
-                    ((t.as_secs() / step.as_secs()) as usize).min(node_seconds.len() - 1);
+                let idx = ((t.as_secs() / step.as_secs()) as usize).min(node_seconds.len() - 1);
                 let bucket_end = SimTime::from_secs((idx as f64 + 1.0) * step.as_secs());
                 let until = bucket_end.min(seg.end);
                 if until <= t {
@@ -348,12 +340,15 @@ mod tests {
         assert_eq!(out.wait.count, 1);
     }
 
-
     #[test]
     fn power_profile_reconstructs_segments() {
         let recs = vec![record()];
         // record(): 2 kW over 1-2h and 3-4h on 4 nodes.
-        let profile = power_profile(&recs, SimDuration::from_hours(1.0), SimTime::from_hours(5.0));
+        let profile = power_profile(
+            &recs,
+            SimDuration::from_hours(1.0),
+            SimTime::from_hours(5.0),
+        );
         assert_eq!(profile.len(), 5);
         let v = profile.values();
         assert!((v[0] - 0.0).abs() < 1e-9);
@@ -368,14 +363,16 @@ mod tests {
             segments: vec![seg(0.5, 1.5, 2, 1.0)],
             ..record()
         };
-        let profile =
-            power_profile(&[rec], SimDuration::from_hours(1.0), SimTime::from_hours(2.0));
+        let profile = power_profile(
+            &[rec],
+            SimDuration::from_hours(1.0),
+            SimTime::from_hours(2.0),
+        );
         let v = profile.values();
         // Half the energy in each of the two buckets.
         assert!((v[0] - 500.0).abs() < 1e-9);
         assert!((v[1] - 500.0).abs() < 1e-9);
     }
-
 
     #[test]
     fn power_profile_tolerates_short_horizon() {
@@ -385,8 +382,11 @@ mod tests {
             segments: vec![seg(0.0, 4.0, 2, 1.0)],
             ..record()
         };
-        let profile =
-            power_profile(&[rec], SimDuration::from_hours(1.0), SimTime::from_hours(2.0));
+        let profile = power_profile(
+            &[rec],
+            SimDuration::from_hours(1.0),
+            SimTime::from_hours(2.0),
+        );
         assert_eq!(profile.len(), 2);
         // 4 kWh total: 1 kWh in bucket 0, 3 kWh in the clamped last bucket.
         assert!((profile.values()[0] - 1000.0).abs() < 1e-9);
@@ -409,15 +409,7 @@ mod tests {
 
     #[test]
     fn empty_outcome_is_safe() {
-        let out = SimOutcome::from_records(
-            vec![],
-            0,
-            8,
-            None,
-            Energy::ZERO,
-            Carbon::ZERO,
-            0.0,
-        );
+        let out = SimOutcome::from_records(vec![], 0, 8, None, Energy::ZERO, Carbon::ZERO, 0.0);
         assert_eq!(out.makespan, SimTime::ZERO);
         assert_eq!(out.utilization, 0.0);
         assert_eq!(out.effective_job_ci, 0.0);

@@ -88,9 +88,14 @@ mod tests {
     use sustain_workload::job::JobBuilder;
 
     fn job(nodes: u32, walltime_h: f64) -> Job {
-        JobBuilder::new(1, SimTime::ZERO, nodes, SimDuration::from_hours(walltime_h / 2.0))
-            .walltime(SimDuration::from_hours(walltime_h))
-            .build()
+        JobBuilder::new(
+            1,
+            SimTime::ZERO,
+            nodes,
+            SimDuration::from_hours(walltime_h / 2.0),
+        )
+        .walltime(SimDuration::from_hours(walltime_h))
+        .build()
     }
 
     #[test]

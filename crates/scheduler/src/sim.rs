@@ -513,7 +513,9 @@ impl<'a> Sim<'a> {
         self.running_power -= job.power_at(old);
         self.running_power += job.power_at(new_alloc);
         run.alloc = new_alloc;
-        run.rate = job.speedup.speedup(new_alloc.min(job.efficient_nodes).max(1));
+        run.rate = job
+            .speedup
+            .speedup(new_alloc.min(job.efficient_nodes).max(1));
         run.seg_start = now;
         // The reshape itself costs wall time at the new rate.
         run.work_remaining += self.cfg.reshape_cost.as_secs() * run.rate;
@@ -607,7 +609,8 @@ impl<'a> Sim<'a> {
         loop {
             // First eligible pending job is the "head" holding the
             // reservation.
-            let Some(head_pos) = (0..self.pending.len()).find(|&p| self.eligible(self.pending[p], now))
+            let Some(head_pos) =
+                (0..self.pending.len()).find(|&p| self.eligible(self.pending[p], now))
             else {
                 return;
             };
@@ -640,8 +643,7 @@ impl<'a> Sim<'a> {
                 .iter()
                 .map(|r| {
                     let remaining = SimDuration::from_secs(
-                        (r.work_remaining
-                            - (now - r.last_update).as_secs().max(0.0) * r.rate)
+                        (r.work_remaining - (now - r.last_update).as_secs().max(0.0) * r.rate)
                             .max(0.0)
                             / r.rate,
                     );
@@ -654,7 +656,10 @@ impl<'a> Sim<'a> {
             for (order_pos, &idx) in pending.iter().enumerate() {
                 let job = &self.jobs[idx];
                 let (min_alloc, _) = job.bounds();
-                let alloc = job.requested_nodes.max(min_alloc).min(self.cfg.cluster.nodes);
+                let alloc = job
+                    .requested_nodes
+                    .max(min_alloc)
+                    .min(self.cfg.cluster.nodes);
                 let dur = job.walltime_estimate;
                 // Find the earliest start ≥ now where `alloc` nodes stay
                 // free for `dur`, given the profile.
@@ -702,9 +707,7 @@ impl<'a> Sim<'a> {
             .iter()
             .map(|r| {
                 let remaining = SimDuration::from_secs(
-                    (r.work_remaining
-                        - (now - r.last_update).as_secs().max(0.0) * r.rate)
-                        .max(0.0)
+                    (r.work_remaining - (now - r.last_update).as_secs().max(0.0) * r.rate).max(0.0)
                         / r.rate,
                 );
                 (now + remaining, r.alloc)
@@ -777,8 +780,8 @@ impl<'a> Sim<'a> {
         let Some(mut rng) = self.failure_rng.take() else {
             return;
         };
-        let lambda = self.cfg.cluster.nodes as f64 * self.cfg.tick.as_secs()
-            / model.node_mtbf.as_secs();
+        let lambda =
+            self.cfg.cluster.nodes as f64 * self.cfg.tick.as_secs() / model.node_mtbf.as_secs();
         let failures = rng.poisson(lambda);
         for _ in 0..failures {
             let node = rng.uniform_u64(self.cfg.cluster.nodes as u64) as u32;
@@ -897,8 +900,7 @@ impl<'a> Sim<'a> {
                     if job.class.is_malleable() && self.running[pos].alloc > min {
                         // Shrink as far as needed, at most to min.
                         let over = self.running_power - budget;
-                        let sheddable =
-                            (over.watts() / job.power_per_node.watts()).ceil() as u32;
+                        let sheddable = (over.watts() / job.power_per_node.watts()).ceil() as u32;
                         let new_alloc = self.running[pos].alloc.saturating_sub(sheddable).max(min);
                         if new_alloc < self.running[pos].alloc {
                             self.reshape(pos, new_alloc, now);
@@ -943,8 +945,7 @@ impl<'a> Sim<'a> {
                     if headroom <= Power::ZERO {
                         break;
                     }
-                    let power_fit =
-                        (headroom.watts() / job.power_per_node.watts()) as u32;
+                    let power_fit = (headroom.watts() / job.power_per_node.watts()) as u32;
                     let useful_cap = job.efficient_nodes.max(1);
                     let grow = (max - cur)
                         .min(self.alloc.free())
@@ -1242,9 +1243,9 @@ mod tests {
         // spare alone, but both together would overdraw it and delay the
         // head past t=5.
         let jobs = vec![
-            rigid(1, 0.0, 10, 1.0),  // fills the cluster until t=1
-            rigid(5, 0.05, 4, 4.0),  // jobB: 4 nodes, t=1..5
-            rigid(2, 0.1, 8, 1.0),   // the head reservation
+            rigid(1, 0.0, 10, 1.0), // fills the cluster until t=1
+            rigid(5, 0.05, 4, 4.0), // jobB: 4 nodes, t=1..5
+            rigid(2, 0.1, 8, 1.0),  // the head reservation
             rigid(3, 0.2, 2, 8.0),
             rigid(4, 0.3, 2, 8.0),
         ];
@@ -1291,12 +1292,7 @@ mod tests {
     fn power_budget_limits_concurrency() {
         // Each job: 4 nodes × 500 W = 2 kW. Budget 3 kW → jobs serialize.
         let jobs = vec![rigid(1, 0.0, 4, 1.0), rigid(2, 0.0, 4, 1.0)];
-        let budget = TimeSeries::constant(
-            SimTime::ZERO,
-            SimDuration::from_hours(1.0),
-            3000.0,
-            100,
-        );
+        let budget = TimeSeries::constant(SimTime::ZERO, SimDuration::from_hours(1.0), 3000.0, 100);
         let out = simulate(
             &jobs,
             &SimConfig {
@@ -1327,8 +1323,7 @@ mod tests {
     #[test]
     fn deterministic_across_runs() {
         let cfg = sustain_workload::synth::WorkloadConfig::default();
-        let jobs =
-            sustain_workload::synth::generate(&cfg, SimDuration::from_hours(48.0), 5);
+        let jobs = sustain_workload::synth::generate(&cfg, SimDuration::from_hours(48.0), 5);
         let a = simulate(&jobs, &SimConfig::easy(Cluster::new(256)));
         let b = simulate(&jobs, &SimConfig::easy(Cluster::new(256)));
         assert_eq!(a.records.len(), b.records.len());
@@ -1339,8 +1334,7 @@ mod tests {
     #[test]
     fn synthetic_trace_completes_under_easy() {
         let cfg = sustain_workload::synth::WorkloadConfig::default();
-        let jobs =
-            sustain_workload::synth::generate(&cfg, SimDuration::from_hours(24.0 * 7.0), 9);
+        let jobs = sustain_workload::synth::generate(&cfg, SimDuration::from_hours(24.0 * 7.0), 9);
         let out = simulate(&jobs, &SimConfig::easy(Cluster::new(600)));
         assert_eq!(out.unfinished, 0, "all jobs should finish");
         assert!(out.utilization > 0.05 && out.utilization < 1.0);
@@ -1354,18 +1348,13 @@ mod tests {
 
     #[test]
     fn malleable_job_grows_into_free_nodes() {
-        let malleable = JobBuilder::new(
-            1,
-            SimTime::ZERO,
-            4,
-            SimDuration::from_hours(8.0),
-        )
-        .class(JobClass::Malleable {
-            min_nodes: 2,
-            max_nodes: 16,
-        })
-        .efficient_nodes(16)
-        .build();
+        let malleable = JobBuilder::new(1, SimTime::ZERO, 4, SimDuration::from_hours(8.0))
+            .class(JobClass::Malleable {
+                min_nodes: 2,
+                max_nodes: 16,
+            })
+            .efficient_nodes(16)
+            .build();
         let mut cfg = SimConfig::easy(Cluster::new(16));
         cfg.enable_malleability = true;
         let out = simulate(&[malleable], &cfg);
@@ -1491,7 +1480,10 @@ mod tests {
         let out = simulate(&[job], &cfg);
         assert_eq!(out.unfinished, 0, "job must eventually complete");
         let r = &out.records[0];
-        assert!(r.restarts > 0, "48 h on failing hardware must hit a failure");
+        assert!(
+            r.restarts > 0,
+            "48 h on failing hardware must hit a failure"
+        );
         // Non-checkpointable: every restart redoes the full 48 h, so the
         // span is at least restarts+1 full runs minus the last partials.
         assert!(r.span().as_hours() > 48.0);
@@ -1548,12 +1540,8 @@ mod tests {
         // exceeds 10 kW: the job must be rejected at submit (not pend
         // forever, burning ticks to the step cap).
         let jobs = vec![rigid(1, 0.0, 100, 1.0), rigid(2, 0.0, 4, 1.0)];
-        let budget = TimeSeries::constant(
-            SimTime::ZERO,
-            SimDuration::from_hours(1.0),
-            10_000.0,
-            48,
-        );
+        let budget =
+            TimeSeries::constant(SimTime::ZERO, SimDuration::from_hours(1.0), 10_000.0, 48);
         let mut cfg = SimConfig::easy(Cluster::new(128));
         cfg.power_budget = Some(budget);
         cfg.max_steps = 100_000;
@@ -1687,8 +1675,7 @@ mod tests {
     #[test]
     fn conservative_completes_random_workload() {
         let cfg_wl = sustain_workload::synth::WorkloadConfig::default();
-        let jobs =
-            sustain_workload::synth::generate(&cfg_wl, SimDuration::from_hours(48.0), 21);
+        let jobs = sustain_workload::synth::generate(&cfg_wl, SimDuration::from_hours(48.0), 21);
         let out = simulate(
             &jobs,
             &SimConfig {

@@ -213,10 +213,7 @@ mod tests {
         eng.seed(SimTime::from_secs(10.0), Ev::Tick(3));
         let out = eng.run_to_empty(&mut p, 1_000);
         assert_eq!(out, RunOutcome::Drained);
-        assert_eq!(
-            p.fired,
-            vec![(10.0, 3), (11.0, 2), (12.0, 1), (13.0, 0)]
-        );
+        assert_eq!(p.fired, vec![(10.0, 3), (11.0, 2), (12.0, 1), (13.0, 0)]);
         assert_eq!(eng.now(), SimTime::from_secs(13.0));
         assert_eq!(eng.steps(), 4);
     }

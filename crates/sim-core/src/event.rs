@@ -215,7 +215,6 @@ mod tests {
         assert!(q.pop().is_none());
     }
 
-
     #[test]
     fn cancel_after_fire_does_not_underflow_len() {
         let mut q = EventQueue::new();

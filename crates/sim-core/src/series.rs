@@ -26,7 +26,11 @@ impl TimeSeries {
     /// Panics if `step` is zero.
     pub fn new(start: SimTime, step: SimDuration, values: Vec<f64>) -> Self {
         assert!(!step.is_zero(), "time series step must be positive");
-        TimeSeries { start, step, values }
+        TimeSeries {
+            start,
+            step,
+            values,
+        }
     }
 
     /// Creates a constant series of `n` samples.
@@ -149,7 +153,15 @@ impl TimeSeries {
     }
 
     /// Mean value over `[from, to]` (time-weighted).
+    ///
+    /// An empty window (`to == from`) returns the sample at `from`; an
+    /// inverted window (`to < from`) returns 0.0 rather than a
+    /// negative-width quotient, so callers clamping forecast horizons to a
+    /// trace end never see a sign flip.
     pub fn mean_over(&self, from: SimTime, to: SimTime) -> f64 {
+        if to < from {
+            return 0.0;
+        }
         let w = (to - from).as_secs();
         if w == 0.0 {
             self.at(from)
@@ -174,9 +186,19 @@ impl TimeSeries {
     }
 
     /// Per-day means, assuming the series step divides a day.
+    ///
+    /// # Panics
+    /// Panics if the step exceeds one day: there is no whole group of
+    /// samples per day to average, so the request is malformed. The check
+    /// runs before any division — previously a `step > DAY` rounded
+    /// `per_day` to 0 and surfaced as a confusing downstream assert.
     pub fn daily_means(&self) -> TimeSeries {
-        let per_day = (crate::time::DAY / self.step.as_secs()).round() as usize;
-        assert!(per_day > 0, "step larger than a day");
+        let step_secs = self.step.as_secs();
+        assert!(
+            step_secs <= crate::time::DAY,
+            "daily_means requires step <= 1 day, got {step_secs} s"
+        );
+        let per_day = (crate::time::DAY / step_secs).round() as usize;
         self.downsample_mean(per_day)
     }
 
@@ -196,7 +218,11 @@ impl TimeSeries {
 
     /// Elementwise map.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> TimeSeries {
-        TimeSeries::new(self.start, self.step, self.values.iter().map(|&v| f(v)).collect())
+        TimeSeries::new(
+            self.start,
+            self.step,
+            self.values.iter().map(|&v| f(v)).collect(),
+        )
     }
 
     /// Elementwise combination of two aligned series.
@@ -229,7 +255,10 @@ impl TimeSeries {
 
     /// Maximum sample (`-inf` when empty).
     pub fn max(&self) -> f64 {
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 }
 
@@ -240,6 +269,39 @@ mod tests {
 
     fn hourly(values: Vec<f64>) -> TimeSeries {
         TimeSeries::new(SimTime::ZERO, SimDuration::from_hours(1.0), values)
+    }
+
+    #[test]
+    fn mean_over_inverted_window_is_zero() {
+        let ts = hourly(vec![10.0, 20.0, 30.0]);
+        assert_eq!(
+            ts.mean_over(SimTime::from_hours(2.0), SimTime::from_hours(1.0)),
+            0.0
+        );
+        // Empty and forward windows are unaffected.
+        assert_eq!(
+            ts.mean_over(SimTime::from_hours(1.5), SimTime::from_hours(1.5)),
+            20.0
+        );
+        assert_eq!(ts.mean_over(SimTime::ZERO, SimTime::from_hours(2.0)), 15.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "daily_means requires step <= 1 day")]
+    fn daily_means_rejects_step_over_a_day() {
+        let ts = TimeSeries::new(
+            SimTime::ZERO,
+            SimDuration::from_secs(2.0 * DAY),
+            vec![1.0, 2.0],
+        );
+        let _ = ts.daily_means();
+    }
+
+    #[test]
+    fn daily_means_accepts_exactly_one_day_step() {
+        let ts = TimeSeries::new(SimTime::ZERO, SimDuration::from_secs(DAY), vec![1.0, 2.0]);
+        let daily = ts.daily_means();
+        assert_eq!(daily.values(), &[1.0, 2.0]);
     }
 
     #[test]
@@ -296,7 +358,10 @@ mod tests {
         // Past the end: last value extends.
         let v = ts.integrate(SimTime::ZERO, SimTime::from_hours(2.0));
         assert!((v - 5.0 * 2.0 * HOUR).abs() < 1e-6);
-        assert_eq!(ts.integrate(SimTime::from_hours(2.0), SimTime::from_hours(1.0)), 0.0);
+        assert_eq!(
+            ts.integrate(SimTime::from_hours(2.0), SimTime::from_hours(1.0)),
+            0.0
+        );
     }
 
     #[test]
@@ -305,7 +370,10 @@ mod tests {
         let m = ts.mean_over(SimTime::ZERO, SimTime::from_hours(2.0));
         assert!((m - 50.0).abs() < 1e-9);
         // Degenerate window = point evaluation.
-        assert_eq!(ts.mean_over(SimTime::from_hours(1.5), SimTime::from_hours(1.5)), 100.0);
+        assert_eq!(
+            ts.mean_over(SimTime::from_hours(1.5), SimTime::from_hours(1.5)),
+            100.0
+        );
     }
 
     #[test]

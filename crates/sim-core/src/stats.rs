@@ -377,11 +377,13 @@ pub fn rmse(actual: &[f64], forecast: &[f64]) -> f64 {
     (se / actual.len() as f64).sqrt()
 }
 
-
 /// Renders a unicode sparkline of a sample (8 block levels). Handy for
 /// printing figure-shaped output in terminals and bench logs.
 pub fn sparkline(values: &[f64]) -> String {
-    const BLOCKS: [char; 8] = ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+    const BLOCKS: [char; 8] = [
+        '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
+        '\u{2588}',
+    ];
     if values.is_empty() {
         return String::new();
     }
@@ -523,7 +525,6 @@ mod tests {
         assert!((slope - 3.0).abs() < 1e-9);
         assert!((intercept + 7.0).abs() < 1e-9);
     }
-
 
     #[test]
     fn sparkline_shape() {

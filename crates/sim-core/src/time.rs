@@ -117,7 +117,11 @@ impl SimTime {
     /// `earlier` is in the future.
     #[inline]
     pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
-        SimDuration(if self.0 > earlier.0 { self.0 - earlier.0 } else { 0.0 })
+        SimDuration(if self.0 > earlier.0 {
+            self.0 - earlier.0
+        } else {
+            0.0
+        })
     }
 
     /// The later of two times.
@@ -151,7 +155,10 @@ impl SimDuration {
     /// Panics if `secs` is negative or not finite.
     #[inline]
     pub fn from_secs(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "invalid SimDuration: {secs}");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "invalid SimDuration: {secs}"
+        );
         SimDuration(secs)
     }
 

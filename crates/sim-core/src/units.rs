@@ -386,7 +386,8 @@ mod tests {
     fn clamp_and_minmax() {
         let p = Power::from_watts(120.0);
         assert_eq!(
-            p.clamp(Power::from_watts(0.0), Power::from_watts(100.0)).watts(),
+            p.clamp(Power::from_watts(0.0), Power::from_watts(100.0))
+                .watts(),
             100.0
         );
         assert_eq!(p.max(Power::from_watts(200.0)).watts(), 200.0);
@@ -395,7 +396,11 @@ mod tests {
 
     #[test]
     fn ordering() {
-        let mut v = [Carbon::from_grams(3.0), Carbon::ZERO, Carbon::from_grams(1.0)];
+        let mut v = [
+            Carbon::from_grams(3.0),
+            Carbon::ZERO,
+            Carbon::from_grams(1.0),
+        ];
         v.sort();
         assert_eq!(v[0], Carbon::ZERO);
         assert_eq!(v[2], Carbon::from_grams(3.0));

@@ -159,7 +159,7 @@ mod tests {
         use sustain_carbon_model::system::SystemInventory;
         let lrz = Carbon500Entry::from_inventory(
             &SystemInventory::supermuc_ng(),
-            19_500_000.0, // ~19.5 Pflop/s sustained
+            19_500_000.0,                              // ~19.5 Pflop/s sustained
             CarbonIntensity::from_grams_per_kwh(20.0), // hydropower contract
             SimDuration::from_years(5.0),
         );

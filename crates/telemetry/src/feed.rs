@@ -38,7 +38,7 @@ pub fn feed_from_records(
     let mut t = SimTime::ZERO;
     while t < horizon {
         tree.push("/grid/carbon_intensity", t, trace.at(t).grams_per_kwh());
-        t = t + step;
+        t += step;
     }
 
     // Per-job power: one sensor per job, sampled over its segments.
@@ -137,8 +137,7 @@ mod tests {
             SimTime::from_hours(2.0),
         );
         // Sum of per-job mean powers over the first two hours: 1 + 2 kW.
-        let total =
-            tree.aggregate_mean("/system/jobs", SimTime::ZERO, SimTime::from_hours(2.0));
+        let total = tree.aggregate_mean("/system/jobs", SimTime::ZERO, SimTime::from_hours(2.0));
         assert!((total - 3000.0).abs() < 1e-9);
     }
 

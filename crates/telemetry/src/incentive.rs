@@ -224,10 +224,7 @@ mod tests {
         let high = m.carbon_saving(1000.0, 300.0, 150.0, 0.8);
         assert!(high > low);
         // CI gap of zero → no savings.
-        assert_eq!(
-            m.carbon_saving(1000.0, 200.0, 200.0, 0.5),
-            Carbon::ZERO
-        );
+        assert_eq!(m.carbon_saving(1000.0, 200.0, 200.0, 0.5), Carbon::ZERO);
     }
 
     #[test]

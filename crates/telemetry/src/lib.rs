@@ -19,7 +19,7 @@ pub mod sensor;
 
 pub use accounting::{aggregate_by_user, profile_job, site_account, JobCarbonProfile};
 pub use carbon500::{rank, Carbon500Entry, Carbon500Row};
+pub use feed::feed_from_records;
 pub use incentive::{ElasticityModel, IncentiveScheme, JobBill};
 pub use report::{render, to_text, JobReport};
-pub use feed::feed_from_records;
 pub use sensor::{Reading, Sensor, SensorTree};

@@ -65,9 +65,9 @@ pub struct JobReport {
 pub fn render(profile: &JobCarbonProfile) -> JobReport {
     let km = car_km_equivalent(profile.carbon);
     let analogy = match nearest_drive(profile.carbon) {
-        Some((name, d)) => format!(
-            "equivalent to driving {km:.0} km by car (more than {name}, {d:.0} km)"
-        ),
+        Some((name, d)) => {
+            format!("equivalent to driving {km:.0} km by car (more than {name}, {d:.0} km)")
+        }
         None => format!("equivalent to driving {km:.1} km by car"),
     };
     JobReport {
@@ -97,7 +97,6 @@ pub fn to_text(report: &JobReport) -> String {
         report.analogy
     )
 }
-
 
 /// Renders a site's monthly operations report as markdown: the §3.4
 /// operational-data-analytics deliverable a center would publish to its
@@ -192,7 +191,6 @@ mod tests {
         assert!(text.contains("24.000 kg CO2e"));
         assert!(text.contains("25.0 %"));
     }
-
 
     #[test]
     fn site_markdown_report_contents() {

@@ -73,7 +73,10 @@ impl SensorTree {
     /// use). Paths must start with `/`.
     pub fn push(&mut self, path: &str, time: SimTime, value: f64) {
         assert!(path.starts_with('/'), "sensor path must start with '/'");
-        self.sensors.entry(path.to_string()).or_default().push(time, value);
+        self.sensors
+            .entry(path.to_string())
+            .or_default()
+            .push(time, value);
     }
 
     /// The sensor at an exact path.

@@ -186,10 +186,8 @@ mod tests {
     #[test]
     fn young_daly_known_value() {
         // sqrt(2 × 60 s × 24 h) = sqrt(2×60×86400) ≈ 3220 s.
-        let interval = young_daly_interval(
-            SimDuration::from_secs(60.0),
-            SimDuration::from_hours(24.0),
-        );
+        let interval =
+            young_daly_interval(SimDuration::from_secs(60.0), SimDuration::from_hours(24.0));
         assert!((interval.as_secs() - 3220.0).abs() < 2.0);
     }
 }

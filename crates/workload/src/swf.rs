@@ -94,8 +94,7 @@ pub fn parse_swf(text: &str, options: &SwfImportOptions) -> Result<Vec<Job>, Swf
         if runtime <= 0.0 || procs <= 0.0 || submit < 0.0 {
             continue; // unknown/cancelled jobs
         }
-        let nodes =
-            (procs as u32).div_ceil(options.processors_per_node);
+        let nodes = (procs as u32).div_ceil(options.processors_per_node);
         let walltime = if req_time > 0.0 {
             SimDuration::from_secs(req_time.max(runtime))
         } else {

@@ -53,7 +53,7 @@ impl Default for WorkloadConfig {
         WorkloadConfig {
             arrivals_per_hour: 6.0,
             diurnal_amplitude: 0.5,
-            runtime_log_mean: 8.3,  // median ≈ 4030 s ≈ 1.1 h
+            runtime_log_mean: 8.3, // median ≈ 4030 s ≈ 1.1 h
             runtime_log_std: 1.4,
             max_runtime: SimDuration::from_hours(48.0),
             max_nodes: 512,
@@ -95,7 +95,10 @@ impl WorkloadConfig {
 /// Generates a job trace covering `horizon` with deterministic output for
 /// a given seed.
 pub fn generate(config: &WorkloadConfig, horizon: SimDuration, seed: u64) -> Vec<Job> {
-    assert!(config.arrivals_per_hour > 0.0, "arrival rate must be positive");
+    assert!(
+        config.arrivals_per_hour > 0.0,
+        "arrival rate must be positive"
+    );
     assert!(config.max_nodes >= 1);
     let root = RngStream::new(seed);
     let mut arrivals = root.derive("arrivals");
@@ -152,8 +155,8 @@ pub fn generate(config: &WorkloadConfig, horizon: SimDuration, seed: u64) -> Vec
         // can exploit. The factor is drawn unconditionally so that sweeps
         // over `overallocating_fraction` are pointwise monotone (the set of
         // over-allocating jobs grows as a superset with identical factors).
-        let factor = 1.0
-            + overalloc.exponential(1.0 / (config.overallocation_mean_factor - 1.0).max(1e-9));
+        let factor =
+            1.0 + overalloc.exponential(1.0 / (config.overallocation_mean_factor - 1.0).max(1e-9));
         let (requested, efficient) = if overalloc.bernoulli(config.overallocating_fraction) {
             let requested = ((nodes as f64 * factor).round() as u32).min(config.max_nodes);
             (requested.max(nodes), nodes)
@@ -162,7 +165,8 @@ pub fn generate(config: &WorkloadConfig, horizon: SimDuration, seed: u64) -> Vec
         };
 
         let walltime = runtime
-            * (1.0 + classes.exponential(1.0 / (config.walltime_overestimate_mean - 1.0).max(1e-9)));
+            * (1.0
+                + classes.exponential(1.0 / (config.walltime_overestimate_mean - 1.0).max(1e-9)));
 
         let class = if classes.bernoulli(config.malleable_fraction) {
             JobClass::Malleable {

@@ -100,10 +100,10 @@ mod tests {
 
     #[test]
     fn trace_sorts_by_submit_time() {
-        let j1 = JobBuilder::new(1, SimTime::from_hours(5.0), 2, SimDuration::from_hours(1.0))
-            .build();
-        let j2 = JobBuilder::new(2, SimTime::from_hours(1.0), 2, SimDuration::from_hours(1.0))
-            .build();
+        let j1 =
+            JobBuilder::new(1, SimTime::from_hours(5.0), 2, SimDuration::from_hours(1.0)).build();
+        let j2 =
+            JobBuilder::new(2, SimTime::from_hours(1.0), 2, SimDuration::from_hours(1.0)).build();
         let t = JobTrace::new("t", vec![j1, j2]);
         assert_eq!(t.jobs[0].id.0, 2);
         assert_eq!(t.len(), 2);

@@ -38,7 +38,10 @@ fn main() {
 
     // --- Average vs marginal intensity (the figure's "marginal"). ---
     println!("\n=== average vs marginal intensity over the merit order ===");
-    println!("{:>9} {:>12} {:>13}", "demand/GW", "avg g/kWh", "marginal g/kWh");
+    println!(
+        "{:>9} {:>12} {:>13}",
+        "demand/GW", "avg g/kWh", "marginal g/kWh"
+    );
     for (gw, avg, marg) in average_vs_marginal_sweep() {
         println!("{:>9.0} {:>12.1} {:>13.1}", gw, avg, marg);
     }
@@ -96,7 +99,10 @@ fn main() {
     println!("\n=== per-user carbon accounts (3-day sample, top 5 by carbon) ===");
     let mut users: Vec<_> = by_user.iter().collect();
     users.sort_by_key(|(_, acc)| std::cmp::Reverse(acc.carbon));
-    println!("{:>6} {:>6} {:>12} {:>10}", "user", "jobs", "energy/kWh", "carbon/kg");
+    println!(
+        "{:>6} {:>6} {:>12} {:>10}",
+        "user", "jobs", "energy/kWh", "carbon/kg"
+    );
     for (user, acc) in users.iter().take(5) {
         println!(
             "{:>6} {:>6} {:>12.1} {:>10.2}",

@@ -69,8 +69,14 @@ fn main() {
     let lrz = lrz_embodied_dominance();
     println!("\n=== §2 — embodied vs operational (SuperMUC-NG, 5 yr) ===");
     println!("embodied (components+platform): {:>8.0} t", lrz.embodied_t);
-    println!("operational @ hydropower 20 g : {:>8.0} t", lrz.operational_hydro_t);
-    println!("operational @ coal 1025 g     : {:>8.0} t", lrz.operational_coal_t);
+    println!(
+        "operational @ hydropower 20 g : {:>8.0} t",
+        lrz.operational_hydro_t
+    );
+    println!(
+        "operational @ coal 1025 g     : {:>8.0} t",
+        lrz.operational_coal_t
+    );
 
     // --- E4: the renewable rule of thumb. ---
     println!(
@@ -96,7 +102,10 @@ fn main() {
 
     // --- E12: the Carbon500 list. ---
     println!("\n=== §2.2 — Carbon500 (Gflop/s-hours per kg CO2e) ===");
-    println!("{:<4} {:<24} {:>12} {:>12}", "rank", "system", "efficiency", "kg CO2e/h");
+    println!(
+        "{:<4} {:<24} {:>12} {:>12}",
+        "rank", "system", "efficiency", "kg CO2e/h"
+    );
     for row in carbon500() {
         println!(
             "{:<4} {:<24} {:>12.0} {:>12.1}",

@@ -12,7 +12,15 @@ use sustain_hpc_core::prelude::*;
 fn print_rows(rows: &[OpsRow]) {
     println!(
         "{:<16} {:>6} {:>11} {:>9} {:>9} {:>8} {:>8} {:>7} {:>9}",
-        "policy", "jobs", "energy/kWh", "carbon/t", "eff gCO2", "p50 w/h", "p95 w/h", "util%", "viol/s"
+        "policy",
+        "jobs",
+        "energy/kWh",
+        "carbon/t",
+        "eff gCO2",
+        "p50 w/h",
+        "p95 w/h",
+        "util%",
+        "viol/s"
     );
     for r in rows {
         println!(

@@ -29,10 +29,22 @@ fn main() {
     println!("=== quickstart: one week on the Finnish grid ===");
     println!("grid mean intensity : {:>8.1} g/kWh", result.grid_mean_ci);
     println!("jobs completed      : {:>8}", result.outcome.records.len());
-    println!("utilization         : {:>8.1} %", result.outcome.utilization * 100.0);
-    println!("median wait         : {:>8.2} h", result.outcome.wait.median / 3600.0);
-    println!("job energy          : {:>8.1} kWh", result.outcome.job_energy.kwh());
-    println!("operational carbon  : {:>8.2} t", result.outcome.carbon.tons());
+    println!(
+        "utilization         : {:>8.1} %",
+        result.outcome.utilization * 100.0
+    );
+    println!(
+        "median wait         : {:>8.2} h",
+        result.outcome.wait.median / 3600.0
+    );
+    println!(
+        "job energy          : {:>8.1} kWh",
+        result.outcome.job_energy.kwh()
+    );
+    println!(
+        "operational carbon  : {:>8.2} t",
+        result.outcome.carbon.tons()
+    );
     println!(
         "effective intensity : {:>8.1} g/kWh (vs {:.1} grid mean)",
         result.outcome.effective_job_ci, result.grid_mean_ci
@@ -41,7 +53,10 @@ fn main() {
         "green energy share  : {:>8.1} %",
         result.site.green_energy_fraction * 100.0
     );
-    println!("facility carbon     : {:>8.2} t (PUE applied)", result.facility_carbon.tons());
+    println!(
+        "facility carbon     : {:>8.2} t (PUE applied)",
+        result.facility_carbon.tons()
+    );
 
     // 4. A user-facing carbon report for the biggest job (§3.4).
     if let Some(profile) = result

@@ -10,7 +10,11 @@ use sustain_hpc::core::{lifetime_report, Site};
 
 fn main() {
     // --- Lifetime reports for three sitings of the same machine. ---
-    for site in [Site::lrz_like(), Site::german_grid_like(), Site::coal_like()] {
+    for site in [
+        Site::lrz_like(),
+        Site::german_grid_like(),
+        Site::coal_like(),
+    ] {
         let r = lifetime_report(&site);
         println!("=== {} — 5-year carbon account ===", r.site);
         println!(

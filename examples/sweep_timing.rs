@@ -1,0 +1,94 @@
+//! Regenerates `BENCH_sweep.json`: wall times for the two headline
+//! sweeps (A1 and the 10-region Fig. 2 grid) under three configurations
+//! — serial (1 thread, cold trace cache), parallel (all threads, cold
+//! cache), and cached (all threads, warm cache). One JSON object per
+//! configuration.
+//!
+//! ```text
+//! cargo run --release --example sweep_timing > BENCH_sweep.json
+//! ```
+
+use serde::Serialize;
+use std::time::Instant;
+use sustain_hpc::core::prelude::*;
+use sustain_hpc::core::sweep::{effective_threads, global_trace_cache, set_threads};
+use sustain_hpc::grid::region::Region;
+
+#[derive(Serialize)]
+struct Row {
+    experiment: &'static str,
+    config: &'static str,
+    threads: usize,
+    wall_s: f64,
+    speedup_vs_serial: f64,
+}
+
+/// Best-of-`reps` wall time, seconds.
+fn time(mut f: impl FnMut(), reps: u32) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn measure(experiment: &'static str, rows: &mut Vec<Row>, mut run: impl FnMut()) {
+    const REPS: u32 = 3;
+    set_threads(1);
+    let serial = time(
+        || {
+            global_trace_cache().clear();
+            run();
+        },
+        REPS,
+    );
+    rows.push(Row {
+        experiment,
+        config: "serial",
+        threads: 1,
+        wall_s: serial,
+        speedup_vs_serial: 1.0,
+    });
+    set_threads(0);
+    let threads = effective_threads();
+    let parallel = time(
+        || {
+            global_trace_cache().clear();
+            run();
+        },
+        REPS,
+    );
+    rows.push(Row {
+        experiment,
+        config: "parallel",
+        threads,
+        wall_s: parallel,
+        speedup_vs_serial: serial / parallel,
+    });
+    run(); // warm the cache
+    let cached = time(&mut run, REPS);
+    rows.push(Row {
+        experiment,
+        config: "parallel+cached",
+        threads,
+        wall_s: cached,
+        speedup_vs_serial: serial / cached,
+    });
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    measure("a1_green_threshold_sweep_3d", &mut rows, || {
+        std::hint::black_box(green_threshold_sweep(Region::Finland, 3, 5));
+    });
+    measure("fig2_region_grid_31d", &mut rows, || {
+        std::hint::black_box(fig2_carbon_intensity(2023));
+    });
+    set_threads(0);
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&rows).expect("serializable")
+    );
+}

@@ -4,10 +4,15 @@
 //! (and, where a tabular form exists, CSV) into an output directory.
 //!
 //! ```text
-//! sustain-hpc <experiment> [--out DIR] [--seed N] [--days N]
+//! sustain-hpc <experiment> [--out DIR] [--seed N] [--days N] [--threads N]
 //! sustain-hpc all --out results/
 //! sustain-hpc list
 //! ```
+//!
+//! Sweep parallelism: `--threads N` (or the `SUSTAIN_THREADS` environment
+//! variable; the flag wins) caps the worker threads used by the
+//! experiment sweep driver. `0` or unset = all hardware threads. Output
+//! is bit-for-bit identical at every thread count.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -19,8 +24,14 @@ use sustain_hpc::grid::region::Region;
 
 /// Everything the CLI can run, with one-line descriptions.
 const EXPERIMENTS: &[(&str, &str)] = &[
-    ("fig1", "Fig. 1: embodied carbon by component (German Top-3)"),
-    ("table1", "Table 1: LRZ system lifetimes + fleet amortization"),
+    (
+        "fig1",
+        "Fig. 1: embodied carbon by component (German Top-3)",
+    ),
+    (
+        "table1",
+        "Table 1: LRZ system lifetimes + fleet amortization",
+    ),
     ("fig2", "Fig. 2: daily marginal carbon intensity, Jan 2023"),
     ("e4", "renewable share vs embodied share (rule of thumb)"),
     ("e5", "reuse vs recycling vs lifetime extension"),
@@ -40,7 +51,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("a4", "ablation: forecast-driven budget quality"),
     ("a5", "ablation: backfilling flavours"),
     ("a6", "ablation: checkpointing under node failures"),
-    ("site", "lifetime carbon reports for LRZ / German grid / coal sites"),
+    (
+        "site",
+        "lifetime carbon reports for LRZ / German grid / coal sites",
+    ),
 ];
 
 struct Args {
@@ -48,6 +62,7 @@ struct Args {
     out: Option<PathBuf>,
     seed: u64,
     days: usize,
+    threads: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -56,6 +71,7 @@ fn parse_args() -> Result<Args, String> {
     let mut out = None;
     let mut seed = 2023u64;
     let mut days = 14usize;
+    let mut threads = None;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--out" => {
@@ -73,6 +89,10 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--days must be at least 1".into());
                 }
             }
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a value")?;
+                threads = Some(v.parse().map_err(|_| format!("bad threads: {v}"))?);
+            }
             other => return Err(format!("unknown flag: {other}")),
         }
     }
@@ -81,6 +101,7 @@ fn parse_args() -> Result<Args, String> {
         out,
         seed,
         days,
+        threads,
     })
 }
 
@@ -93,8 +114,11 @@ fn write_json<T: serde::Serialize>(out: &Option<PathBuf>, name: &str, value: &T)
         fs::create_dir_all(dir).expect("create output directory");
         let path: &Path = dir;
         let file = path.join(format!("{name}.json"));
-        fs::write(&file, serde_json::to_vec_pretty(value).expect("serializable"))
-            .expect("write output file");
+        fs::write(
+            &file,
+            serde_json::to_vec_pretty(value).expect("serializable"),
+        )
+        .expect("write output file");
         eprintln!("wrote {}", file.display());
     }
 }
@@ -179,10 +203,16 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: sustain-hpc <experiment|all|list> [--out DIR] [--seed N] [--days N]");
+            eprintln!(
+                "usage: sustain-hpc <experiment|all|list> [--out DIR] [--seed N] [--days N] [--threads N]"
+            );
             return ExitCode::FAILURE;
         }
     };
+    sustain_hpc::core::sweep::init_threads_from_env();
+    if let Some(n) = args.threads {
+        sustain_hpc::core::sweep::set_threads(n);
+    }
     match args.command.as_str() {
         "list" => {
             println!("available experiments:");

@@ -13,8 +13,8 @@ fn list_names_every_experiment() {
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).unwrap();
     for name in [
-        "fig1", "table1", "fig2", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11a", "e11b",
-        "e12", "e13", "e14", "a1", "a2", "a3", "a4", "a5", "a6", "site",
+        "fig1", "table1", "fig2", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11a", "e11b", "e12",
+        "e13", "e14", "a1", "a2", "a3", "a4", "a5", "a6", "site",
     ] {
         assert!(text.contains(name), "missing experiment {name}");
     }
@@ -24,10 +24,12 @@ fn list_names_every_experiment() {
 fn fig1_outputs_valid_json_with_anchor() {
     let out = bin().arg("fig1").output().expect("binary runs");
     assert!(out.status.success());
-    let rows: serde_json::Value =
-        serde_json::from_slice(&out.stdout).expect("stdout is pure JSON");
+    let rows: serde_json::Value = serde_json::from_slice(&out.stdout).expect("stdout is pure JSON");
     let share = rows[0]["memory_storage_share"].as_f64().unwrap();
-    assert!((share - 0.435).abs() < 0.015, "Fig. 1 anchor drifted: {share}");
+    assert!(
+        (share - 0.435).abs() < 0.015,
+        "Fig. 1 anchor drifted: {share}"
+    );
 }
 
 #[test]

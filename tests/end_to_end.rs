@@ -3,7 +3,7 @@
 //! crate's unit tests can see.
 
 use sustain_hpc::core::prelude::*;
-use sustain_hpc::telemetry::accounting::{aggregate_by_user, site_account, profile_job};
+use sustain_hpc::telemetry::accounting::{aggregate_by_user, profile_job, site_account};
 use sustain_hpc::telemetry::incentive::IncentiveScheme;
 
 fn scenario(region: Region, days: usize) -> Scenario {
@@ -109,7 +109,6 @@ fn power_budget_respected_at_starts() {
     }
 }
 
-
 /// The reconstructed power profile never exceeds a static budget — the
 /// time-resolved version of the budget invariant.
 #[test]
@@ -121,11 +120,7 @@ fn power_profile_respects_static_budget() {
     });
     let r = run(&s);
     let horizon = r.outcome.makespan;
-    let profile = power_profile(
-        &r.outcome.records,
-        SimDuration::from_mins(10.0),
-        horizon,
-    );
+    let profile = power_profile(&r.outcome.records, SimDuration::from_mins(10.0), horizon);
     for (i, &w) in profile.values().iter().enumerate() {
         assert!(
             w <= 120_000.0 * 1.0001,
@@ -193,7 +188,10 @@ fn checkpointing_preserves_completion() {
         .iter()
         .filter(|rec| rec.suspensions > 0)
         .count();
-    assert!(suspended_jobs > 0, "volatile grid should trigger suspensions");
+    assert!(
+        suspended_jobs > 0,
+        "volatile grid should trigger suspensions"
+    );
     for rec in &r.outcome.records {
         if rec.suspensions > 0 {
             assert!(rec.segments.len() >= 2);

@@ -11,9 +11,7 @@ use sustain_hpc::core::{lifetime_report, Site};
 use sustain_hpc::grid::seasonal::{generate_year, monthly_means, SeasonalShape};
 use sustain_hpc::telemetry::incentive::IncentiveScheme;
 use sustain_hpc::telemetry::project::{Project, ProjectLedger};
-use sustain_hpc::workload::phases::{
-    run_phases, synth_phases, CountdownGovernor, CpuFreqModel,
-};
+use sustain_hpc::workload::phases::{run_phases, synth_phases, CountdownGovernor, CpuFreqModel};
 
 /// Site reports, the §2 dominance claim, and Carbon500 agree on the
 /// ordering of sitings.
@@ -34,11 +32,8 @@ fn site_reports_consistent_with_dominance_claim() {
 /// incentives reward green projects.
 #[test]
 fn project_ledger_end_to_end() {
-    let mut scenario = Scenario::baseline(
-        "ledger",
-        RegionProfile::january_2023(Region::Finland),
-        5,
-    );
+    let mut scenario =
+        Scenario::baseline("ledger", RegionProfile::january_2023(Region::Finland), 5);
     scenario.cluster = Cluster::new(600);
     let result = run(&scenario);
     let trace = generate_calibrated(&scenario.region, scenario.days, scenario.seed);
@@ -61,10 +56,7 @@ fn project_ledger_end_to_end() {
     for rec in &result.outcome.records {
         ledger.charge(rec.user % 2, rec, &trace, &det).unwrap();
     }
-    let total_consumed: f64 = ledger
-        .accounts()
-        .map(|(_, a)| a.consumed_node_hours)
-        .sum();
+    let total_consumed: f64 = ledger.accounts().map(|(_, a)| a.consumed_node_hours).sum();
     let expected: f64 = result
         .outcome
         .records
@@ -153,11 +145,8 @@ fn conservative_sits_between_fcfs_and_easy() {
 #[test]
 fn multi_queue_scenario_completes() {
     use sustain_hpc::scheduler::queue::QueueSet;
-    let mut scenario = Scenario::baseline(
-        "queues",
-        RegionProfile::january_2023(Region::Germany),
-        3,
-    );
+    let mut scenario =
+        Scenario::baseline("queues", RegionProfile::january_2023(Region::Germany), 3);
     scenario.cluster = Cluster::new(600);
     let queues = QueueSet::typical(600);
     scenario.queues = Some(queues.clone());

@@ -167,9 +167,7 @@ fn dse_optimum_depends_on_metric_and_grid() {
     };
     let delay = find(300.0, DesignMetric::Delay);
     let cep = find(300.0, DesignMetric::Cep);
-    assert!(
-        delay.node != cep.node || delay.cores != cep.cores || delay.freq_ghz != cep.freq_ghz
-    );
+    assert!(delay.node != cep.node || delay.cores != cep.cores || delay.freq_ghz != cep.freq_ghz);
     let carbon_clean = find(20.0, DesignMetric::Carbon);
     let carbon_dirty = find(1025.0, DesignMetric::Carbon);
     assert!(

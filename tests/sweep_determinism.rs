@@ -1,0 +1,56 @@
+//! The sweep driver's headline guarantee: parallel execution is
+//! bit-for-bit identical to serial execution, and the trace cache is
+//! transparent (same values, shared allocations).
+//!
+//! These tests mutate the global thread count. That is safe alongside
+//! other tests because the vendored pool reassembles results in input
+//! order — thread count affects speed only, never output.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use sustain_hpc::core::prelude::*;
+use sustain_hpc::core::sweep::{calibrated_trace, set_threads};
+use sustain_hpc::grid::region::{Region, RegionProfile};
+
+/// A1 at one thread vs many threads: the serialized rows (the exact
+/// bytes a user would get from the CLI) must match.
+#[test]
+fn a1_parallel_bytes_match_serial() {
+    set_threads(1);
+    let serial = serde_json::to_vec(&green_threshold_sweep(Region::Finland, 3, 5)).unwrap();
+    set_threads(4);
+    let parallel = serde_json::to_vec(&green_threshold_sweep(Region::Finland, 3, 5)).unwrap();
+    set_threads(0);
+    assert_eq!(serial, parallel, "A1 must not depend on thread count");
+}
+
+/// The 10-region Fig. 2 grid sweep, serial vs parallel, byte-identical.
+#[test]
+fn region_grid_parallel_bytes_match_serial() {
+    set_threads(1);
+    let serial = serde_json::to_vec(&fig2_carbon_intensity(2023)).unwrap();
+    set_threads(4);
+    let parallel = serde_json::to_vec(&fig2_carbon_intensity(2023)).unwrap();
+    set_threads(0);
+    assert_eq!(serial, parallel, "Fig. 2 must not depend on thread count");
+}
+
+proptest! {
+    /// Cache hits for equal (profile, days, seed) keys return the very
+    /// same `Arc` (pointer-identical), and its contents equal a fresh
+    /// uncached generation. Calibration needs at least two daily means
+    /// to scale, so `days` starts at 2.
+    #[test]
+    fn trace_cache_hits_are_arc_identical(
+        region_idx in 0usize..Region::ALL.len(),
+        days in 2usize..5,
+        seed in 0u64..1_000_000,
+    ) {
+        let profile = RegionProfile::january_2023(Region::ALL[region_idx]);
+        let first = calibrated_trace(&profile, days, seed);
+        let second = calibrated_trace(&profile, days, seed);
+        prop_assert!(Arc::ptr_eq(&first, &second));
+        let fresh = generate_calibrated(&profile, days, seed);
+        prop_assert_eq!(first.series().values(), fresh.series().values());
+    }
+}

@@ -1,0 +1,75 @@
+//! Offline compat shim for the subset of `rand` 0.8 used by this workspace.
+//!
+//! The workspace only consumes the [`RngCore`] trait (implemented by
+//! `sustain-sim-core::rng::RngStream`) and the [`Error`] type referenced by
+//! `RngCore::try_fill_bytes`. No generators, distributions, or seeding
+//! helpers from upstream `rand` are needed; all randomness in the project
+//! flows through the deterministic xoshiro/SplitMix implementation in
+//! `sim-core`.
+
+use std::fmt;
+
+/// Error type for fallible RNG operations, mirroring `rand::Error`.
+pub struct Error {
+    inner: Box<dyn std::error::Error + Send + Sync + 'static>,
+}
+
+impl Error {
+    /// Construct from any boxed-able error, mirroring `rand::Error::new`.
+    pub fn new<E>(err: E) -> Self
+    where
+        E: Into<Box<dyn std::error::Error + Send + Sync + 'static>>,
+    {
+        Error { inner: err.into() }
+    }
+
+    /// Reference to the underlying error.
+    pub fn inner(&self) -> &(dyn std::error::Error + Send + Sync + 'static) {
+        &*self.inner
+    }
+}
+
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rand::Error({:?})", self.inner)
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.inner, f)
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&*self.inner)
+    }
+}
+
+/// Core RNG interface, mirroring `rand::RngCore`.
+pub trait RngCore {
+    /// Return the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Return the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fill `dest` with random bytes, reporting failure instead of panicking.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error>;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}

@@ -1,0 +1,348 @@
+//! Offline compat shim for the subset of `rayon` used by this workspace:
+//! `par_iter()` on slices/`Vec`, `into_par_iter()` on integer ranges, and
+//! the `map` / `min_by` / `collect` / `for_each` / `sum` adaptors, plus the
+//! global-thread-count knobs (`ThreadPoolBuilder::build_global`,
+//! `current_num_threads`).
+//!
+//! Execution model: a pipeline is an indexed pure function `index -> item`.
+//! [`drive`] evaluates indices in contiguous chunks pulled from an atomic
+//! counter by `std::thread::scope` workers and reassembles chunk results in
+//! index order, so output order is **always** identical to the serial
+//! order, regardless of thread count or OS scheduling. This is a stronger
+//! guarantee than upstream rayon's `collect` (which is also ordered) and is
+//! what the sweep driver's bit-for-bit determinism tests rely on.
+//!
+//! With an effective thread count of 1 (or a single-element input) the
+//! pipeline runs inline on the caller's thread with no synchronization.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::Mutex;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+// ---------------------------------------------------------------------------
+// Global thread count
+// ---------------------------------------------------------------------------
+
+/// 0 = "unset": fall back to available hardware parallelism.
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of worker threads parallel pipelines will use.
+pub fn current_num_threads() -> usize {
+    match GLOBAL_THREADS.load(AtomicOrdering::Relaxed) {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    }
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build_global`].
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("failed to configure global thread count")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder` for the global pool.
+///
+/// Unlike upstream (which errors if the global pool is already built),
+/// repeated `build_global` calls here simply update the thread count; there
+/// is no persistent pool to rebuild, since workers are scoped per pipeline.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Create a builder with default (hardware) parallelism.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the worker thread count (0 = hardware parallelism).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Install the thread count globally.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL_THREADS.store(self.num_threads, AtomicOrdering::Relaxed);
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution engine
+// ---------------------------------------------------------------------------
+
+/// Evaluate `eval(0..len)` across worker threads, returning results in index
+/// order. Chunks are claimed from an atomic counter (cheap work stealing for
+/// unevenly sized items) and reassembled by chunk start offset.
+fn drive<R, F>(len: usize, eval: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = current_num_threads().min(len.max(1));
+    if threads <= 1 {
+        return (0..len).map(eval).collect();
+    }
+    // 4 chunks per worker balances stealing granularity against
+    // synchronization; chunk size never drops below 1.
+    let chunk = len.div_ceil(threads * 4).max(1);
+    let cursor = AtomicUsize::new(0);
+    let parts: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let start = cursor.fetch_add(chunk, AtomicOrdering::Relaxed);
+                if start >= len {
+                    break;
+                }
+                let end = (start + chunk).min(len);
+                let piece: Vec<R> = (start..end).map(&eval).collect();
+                parts.lock().expect("result mutex").push((start, piece));
+            });
+        }
+    });
+    let mut parts = parts.into_inner().expect("result mutex");
+    parts.sort_unstable_by_key(|(start, _)| *start);
+    let mut out = Vec::with_capacity(len);
+    for (_, piece) in parts {
+        out.extend(piece);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Parallel iterator trait + adaptors
+// ---------------------------------------------------------------------------
+
+/// A parallel pipeline: an indexed pure function plus adaptors.
+///
+/// All consuming adaptors produce results identical to the equivalent
+/// serial `Iterator` chain (see module docs).
+pub trait ParallelIterator: Sized + Sync {
+    /// Element type produced by the pipeline.
+    type Item: Send;
+
+    /// Number of elements.
+    fn len(&self) -> usize;
+
+    /// `true` if the pipeline has no elements.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Evaluate the element at `index` (pure; may run on any thread).
+    fn eval(&self, index: usize) -> Self::Item;
+
+    /// Map each element through `f`.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Materialize all elements in index order (parallel evaluation).
+    fn to_vec(self) -> Vec<Self::Item> {
+        drive(self.len(), |i| self.eval(i))
+    }
+
+    /// Collect into any container buildable from an ordered `Vec`.
+    fn collect<C: From<Vec<Self::Item>>>(self) -> C {
+        C::from(self.to_vec())
+    }
+
+    /// Minimum element by `cmp`; on ties the last minimal element wins,
+    /// matching `std::iter::Iterator::min_by`.
+    fn min_by<F>(self, cmp: F) -> Option<Self::Item>
+    where
+        F: Fn(&Self::Item, &Self::Item) -> Ordering + Sync,
+    {
+        self.to_vec().into_iter().min_by(cmp)
+    }
+
+    /// Maximum element by `cmp`; on ties the last maximal element wins,
+    /// matching `std::iter::Iterator::max_by`.
+    fn max_by<F>(self, cmp: F) -> Option<Self::Item>
+    where
+        F: Fn(&Self::Item, &Self::Item) -> Ordering + Sync,
+    {
+        self.to_vec().into_iter().max_by(cmp)
+    }
+
+    /// Run `f` on every element (parallel), discarding results.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        drive(self.len(), |i| f(self.eval(i)));
+    }
+
+    /// Sum the elements.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + Send,
+    {
+        self.to_vec().into_iter().sum()
+    }
+}
+
+/// Map adaptor (see [`ParallelIterator::map`]).
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync,
+{
+    type Item = R;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn eval(&self, index: usize) -> R {
+        (self.f)(self.base.eval(index))
+    }
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct SliceIter<'data, T> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync> ParallelIterator for SliceIter<'data, T> {
+    type Item = &'data T;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn eval(&self, index: usize) -> &'data T {
+        &self.slice[index]
+    }
+}
+
+/// Parallel iterator over an integer range.
+pub struct RangeIter<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! impl_range_iter {
+    ($($t:ty),*) => {$(
+        impl ParallelIterator for RangeIter<$t> {
+            type Item = $t;
+            fn len(&self) -> usize {
+                self.len
+            }
+            fn eval(&self, index: usize) -> $t {
+                self.start + index as $t
+            }
+        }
+
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Iter = RangeIter<$t>;
+            type Item = $t;
+            fn into_par_iter(self) -> RangeIter<$t> {
+                let len = if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                };
+                RangeIter { start: self.start, len }
+            }
+        }
+    )*};
+}
+
+impl_range_iter!(u32, u64, usize);
+
+/// Conversion into a parallel pipeline (mirrors `rayon::iter::IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// Pipeline type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Element type.
+    type Item: Send;
+    /// Convert into a parallel pipeline.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Borrowing conversion (mirrors `rayon::iter::IntoParallelRefIterator`).
+pub trait IntoParallelRefIterator<'data> {
+    /// Pipeline type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Element type (a reference).
+    type Item: Send + 'data;
+    /// Borrow into a parallel pipeline.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Iter = SliceIter<'data, T>;
+    type Item = &'data T;
+    fn par_iter(&'data self) -> SliceIter<'data, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Iter = SliceIter<'data, T>;
+    type Item = &'data T;
+    fn par_iter(&'data self) -> SliceIter<'data, T> {
+        SliceIter { slice: self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let serial: Vec<u64> = input.iter().map(|x| x * 3 + 1).collect();
+        let parallel: Vec<u64> = input.par_iter().map(|x| x * 3 + 1).collect();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn range_min_by_matches_serial() {
+        let cost = |x: u64| ((x as i64) - 617).unsigned_abs();
+        let parallel = (0u64..5000)
+            .into_par_iter()
+            .map(|x| (cost(x), x))
+            .min_by(|a, b| a.cmp(b));
+        let serial = (0u64..5000).map(|x| (cost(x), x)).min_by(|a, b| a.cmp(b));
+        assert_eq!(parallel, serial);
+        assert_eq!(parallel.unwrap().1, 617);
+    }
+
+    #[test]
+    fn empty_pipeline() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        assert_eq!((0u64..0).into_par_iter().min_by(|a, b| a.cmp(b)), None);
+    }
+
+    #[test]
+    fn sum_matches_serial() {
+        let total: u64 = (0u64..10_000).into_par_iter().sum();
+        assert_eq!(total, 10_000 * 9_999 / 2);
+    }
+}

@@ -1,0 +1,467 @@
+//! Offline compat shim for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` targeting the vendored `serde` crate's
+//! `Value`-based data model.
+//!
+//! Implemented directly on `proc_macro` token streams (no `syn`/`quote`
+//! available offline). Supports exactly the shapes this workspace derives:
+//! named/tuple/unit structs and enums with unit, tuple, and struct variants.
+//! Generics and `#[serde(...)]` attributes are not supported and panic with
+//! a clear message at expansion time.
+//!
+//! Serialized shapes match upstream serde's JSON conventions so fixtures
+//! stay portable: newtype structs serialize as their inner value, unit enum
+//! variants as strings, data-carrying variants as externally tagged
+//! single-key objects.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derive `serde::Serialize` (Value-model `to_value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_item(input);
+    gen_serialize(&shape)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derive `serde::Deserialize` (Value-model `from_value`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_item(input);
+    gen_deserialize(&shape)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(id) if id.to_string() == s)
+}
+
+/// Advance past leading `#[...]` attributes (including doc comments) and a
+/// `pub`/`pub(...)` visibility qualifier.
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        if i < toks.len() && is_punct(&toks[i], '#') {
+            i += 2; // '#' + bracketed group
+            continue;
+        }
+        if i < toks.len() && is_ident(&toks[i], "pub") {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        return i;
+    }
+}
+
+fn parse_item(input: TokenStream) -> Shape {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&toks, 0);
+
+    let keyword = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+    if toks.get(i).is_some_and(|t| is_punct(t, '<')) {
+        panic!("serde derive (vendored): generic type `{name}` is not supported");
+    }
+
+    match keyword.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::NamedStruct {
+                name,
+                fields: named_field_names(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct {
+                    name,
+                    arity: tuple_arity(g.stream()),
+                }
+            }
+            Some(t) if is_punct(t, ';') => Shape::UnitStruct { name },
+            other => panic!("serde derive: unexpected struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde derive: expected enum body for `{name}`, found {other:?}"),
+        },
+        kw => panic!("serde derive: unsupported item kind `{kw}` for `{name}`"),
+    }
+}
+
+/// Field names of a named-fields body, in declaration order. Types are
+/// skipped with angle-bracket depth tracking so commas inside generics
+/// don't split fields.
+fn named_field_names(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        match &toks[i] {
+            TokenTree::Ident(id) => names.push(id.to_string()),
+            other => panic!("serde derive: expected field name, found {other:?}"),
+        }
+        i += 1;
+        assert!(
+            toks.get(i).is_some_and(|t| is_punct(t, ':')),
+            "serde derive: expected `:` after field `{}`",
+            names.last().unwrap()
+        );
+        i += 1;
+        let mut depth = 0i32;
+        while i < toks.len() {
+            if is_punct(&toks[i], '<') {
+                depth += 1;
+            } else if is_punct(&toks[i], '>') {
+                depth -= 1;
+            } else if is_punct(&toks[i], ',') && depth == 0 {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+    }
+    names
+}
+
+/// Number of fields in a tuple body (top-level comma count, angle-aware).
+fn tuple_arity(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut arity = 1;
+    let mut depth = 0i32;
+    for (idx, t) in toks.iter().enumerate() {
+        if is_punct(t, '<') {
+            depth += 1;
+        } else if is_punct(t, '>') {
+            depth -= 1;
+        } else if is_punct(t, ',') && depth == 0 && idx + 1 < toks.len() {
+            arity += 1;
+        }
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde derive: expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(named_field_names(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(tuple_arity(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        if toks.get(i).is_some_and(|t| is_punct(t, '=')) {
+            panic!("serde derive: explicit discriminant on variant `{name}` is not supported");
+        }
+        if toks.get(i).is_some_and(|t| is_punct(t, ',')) {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------------
+
+fn obj_entry(key: &str, value_expr: &str) -> String {
+    format!("(::std::string::String::from(\"{key}\"), {value_expr})")
+}
+
+fn gen_serialize(shape: &Shape) -> String {
+    let (name, body) = match shape {
+        Shape::NamedStruct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| obj_entry(f, &format!("::serde::Serialize::to_value(&self.{f})")))
+                .collect();
+            (
+                name,
+                format!(
+                    "::serde::Value::Object(::std::vec![{}])",
+                    entries.join(", ")
+                ),
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => {
+            (name, "::serde::Serialize::to_value(&self.0)".to_string())
+        }
+        Shape::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            (
+                name,
+                format!("::serde::Value::Array(::std::vec![{}])", items.join(", ")),
+            )
+        }
+        Shape::UnitStruct { name } => (name, "::serde::Value::Null".to_string()),
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(::std::string::String::from(\"{vname}\"))"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vname}(__f0) => ::serde::Value::Object(::std::vec![{}])",
+                            obj_entry(vname, "::serde::Serialize::to_value(__f0)")
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![{}])",
+                                binds.join(", "),
+                                obj_entry(
+                                    vname,
+                                    &format!(
+                                        "::serde::Value::Array(::std::vec![{}])",
+                                        items.join(", ")
+                                    )
+                                )
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| obj_entry(f, &format!("::serde::Serialize::to_value({f})")))
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {} }} => ::serde::Value::Object(::std::vec![{}])",
+                                fields.join(", "),
+                                obj_entry(
+                                    vname,
+                                    &format!(
+                                        "::serde::Value::Object(::std::vec![{}])",
+                                        entries.join(", ")
+                                    )
+                                )
+                            )
+                        }
+                    }
+                })
+                .collect();
+            (name, format!("match self {{ {} }}", arms.join(", ")))
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+             fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------------
+
+fn named_fields_ctor(path: &str, fields: &[String], src: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!("{f}: ::serde::Deserialize::from_value(::serde::get_field({src}, \"{f}\")?)?")
+        })
+        .collect();
+    format!("{path} {{ {} }}", inits.join(", "))
+}
+
+fn tuple_fields_ctor(path: &str, arity: usize, src: &str, what: &str) -> String {
+    let items: Vec<String> = (0..arity)
+        .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+        .collect();
+    format!(
+        "{{ let __arr = match {src} {{ \
+              ::serde::Value::Array(__a) if __a.len() == {arity} => __a, \
+              __other => return ::std::result::Result::Err(::serde::DeError::expected(\"array of length {arity} for {what}\", __other)), \
+          }}; {path}({}) }}",
+        items.join(", ")
+    )
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    let (name, body) = match shape {
+        Shape::NamedStruct { name, fields } => (
+            name,
+            format!(
+                "::std::result::Result::Ok({})",
+                named_fields_ctor(name, fields, "__v")
+            ),
+        ),
+        Shape::TupleStruct { name, arity: 1 } => (
+            name,
+            format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+            ),
+        ),
+        Shape::TupleStruct { name, arity } => (
+            name,
+            format!(
+                "::std::result::Result::Ok({})",
+                tuple_fields_ctor(name, *arity, "__v", name)
+            ),
+        ),
+        Shape::UnitStruct { name } => (
+            name,
+            format!(
+                "match __v {{ \
+                     ::serde::Value::Null => ::std::result::Result::Ok({name}), \
+                     __other => ::std::result::Result::Err(::serde::DeError::expected(\"null for unit struct {name}\", __other)), \
+                 }}"
+            ),
+        ),
+        Shape::Enum { name, variants } => {
+            let unit: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .collect();
+            let data: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| !matches!(v.kind, VariantKind::Unit))
+                .collect();
+
+            let mut arms = Vec::new();
+            if !unit.is_empty() {
+                let unit_arms: Vec<String> = unit
+                    .iter()
+                    .map(|v| {
+                        format!(
+                            "\"{0}\" => ::std::result::Result::Ok({name}::{0})",
+                            v.name
+                        )
+                    })
+                    .collect();
+                arms.push(format!(
+                    "::serde::Value::Str(__s) => match __s.as_str() {{ {}, __other => ::std::result::Result::Err(::serde::DeError::new(::std::format!(\"unknown variant `{{__other}}` of {name}\"))) }}",
+                    unit_arms.join(", ")
+                ));
+            }
+            if !data.is_empty() {
+                let data_arms: Vec<String> = data
+                    .iter()
+                    .map(|v| {
+                        let vname = &v.name;
+                        let ctor = match &v.kind {
+                            VariantKind::Tuple(1) => format!(
+                                "::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_value(__inner)?))"
+                            ),
+                            VariantKind::Tuple(n) => format!(
+                                "::std::result::Result::Ok({})",
+                                tuple_fields_ctor(
+                                    &format!("{name}::{vname}"),
+                                    *n,
+                                    "__inner",
+                                    &format!("{name}::{vname}")
+                                )
+                            ),
+                            VariantKind::Named(fields) => format!(
+                                "::std::result::Result::Ok({})",
+                                named_fields_ctor(
+                                    &format!("{name}::{vname}"),
+                                    fields,
+                                    "__inner"
+                                )
+                            ),
+                            VariantKind::Unit => unreachable!(),
+                        };
+                        format!("\"{vname}\" => {ctor}")
+                    })
+                    .collect();
+                arms.push(format!(
+                    "::serde::Value::Object(__o) if __o.len() == 1 => {{ \
+                         let (__k, __inner) = &__o[0]; \
+                         match __k.as_str() {{ {}, __other => ::std::result::Result::Err(::serde::DeError::new(::std::format!(\"unknown variant `{{__other}}` of {name}\"))) }} \
+                     }}",
+                    data_arms.join(", ")
+                ));
+            }
+            arms.push(format!(
+                "__other => ::std::result::Result::Err(::serde::DeError::expected(\"enum {name}\", __other))"
+            ));
+            (name, format!("match __v {{ {} }}", arms.join(", ")))
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }} \
+         }}"
+    )
+}

@@ -1,5 +1,7 @@
 //! Bench crate: see `benches/` for the Criterion harnesses.
 #![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 /// The bench crate has no library API; the Criterion harnesses in
 /// `benches/` link against the workspace crates directly.
 pub fn _placeholder() {}

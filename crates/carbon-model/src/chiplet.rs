@@ -159,17 +159,17 @@ pub fn optimize_package(
         d
     };
 
-    (0..space)
-        .into_par_iter()
-        .map(eval)
-        .min_by(|a, b| {
-            a.metric_value
-                .total_cmp(&b.metric_value)
-                // Deterministic tie-break: lower embodied, then node list.
-                .then_with(|| a.embodied.cmp(&b.embodied))
-                .then_with(|| format!("{:?}", a.nodes).cmp(&format!("{:?}", b.nodes)))
-        })
-        .expect("non-empty space")
+    let best = (0..space).into_par_iter().map(eval).min_by(|a, b| {
+        a.metric_value
+            .total_cmp(&b.metric_value)
+            // Deterministic tie-break: lower embodied, then node list.
+            .then_with(|| a.embodied.cmp(&b.embodied))
+            .then_with(|| format!("{:?}", a.nodes).cmp(&format!("{:?}", b.nodes)))
+    });
+    match best {
+        Some(b) => b,
+        None => panic!("assignment space must be non-empty"),
+    }
 }
 
 /// A Ponte-Vecchio-like spec set for the E13 experiment: compute tiles that

@@ -179,7 +179,7 @@ pub fn best_for_metric(evals: &[EvaluatedDesign], metric: DesignMetric) -> Evalu
                 .then_with(|| a.design.cores.cmp(&b.design.cores))
                 .then_with(|| a.design.freq_ghz.total_cmp(&b.design.freq_ghz))
         })
-        .expect("non-empty space")
+        .unwrap_or_else(|| panic!("design space must be non-empty"))
 }
 
 /// Exhaustively evaluates `space` under `metric` (parallel) and returns the

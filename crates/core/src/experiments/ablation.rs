@@ -13,6 +13,7 @@ use sustain_power::carbon_scaler::ScalingPolicy;
 use sustain_power::pue::PueModel;
 use sustain_scheduler::cluster::Cluster;
 use sustain_scheduler::sim::{CarbonAwareCfg, CheckpointCfg, Policy};
+use sustain_sim_core::error::SimError;
 use sustain_sim_core::time::SimDuration;
 use sustain_sim_core::units::Power;
 use sustain_workload::synth::WorkloadConfig;
@@ -344,6 +345,69 @@ pub fn failure_resilience_sweep(days: usize, seed: u64) -> Vec<FailureRow> {
             makespan_days: out.makespan.as_days(),
         }
     })
+}
+
+/// Validated [`green_threshold_sweep`]: rejects degenerate horizons with
+/// a typed error instead of panicking in trace calibration.
+pub fn try_green_threshold_sweep(
+    region: Region,
+    days: usize,
+    seed: u64,
+) -> Result<Vec<OpsRow>, SimError> {
+    crate::experiments::ensure_horizon("A1", days)?;
+    Ok(green_threshold_sweep(region, days, seed))
+}
+
+/// Validated [`checkpoint_overhead_sweep`].
+pub fn try_checkpoint_overhead_sweep(
+    region: Region,
+    days: usize,
+    seed: u64,
+) -> Result<Vec<OpsRow>, SimError> {
+    crate::experiments::ensure_horizon("A2", days)?;
+    Ok(checkpoint_overhead_sweep(region, days, seed))
+}
+
+/// Validated [`malleable_fraction_sweep`].
+pub fn try_malleable_fraction_sweep(
+    region: Region,
+    days: usize,
+    seed: u64,
+) -> Result<Vec<OpsRow>, SimError> {
+    crate::experiments::ensure_horizon("A3", days)?;
+    Ok(malleable_fraction_sweep(region, days, seed))
+}
+
+/// Validated [`forecast_scaling_ablation`].
+pub fn try_forecast_scaling_ablation(
+    region: Region,
+    days: usize,
+    seed: u64,
+) -> Result<Vec<ForecastAblationRow>, SimError> {
+    crate::experiments::ensure_horizon("A4", days)?;
+    Ok(forecast_scaling_ablation(region, days, seed))
+}
+
+/// Validated [`backfill_flavour_sweep`].
+pub fn try_backfill_flavour_sweep(
+    region: Region,
+    days: usize,
+    seed: u64,
+) -> Result<Vec<OpsRow>, SimError> {
+    crate::experiments::ensure_horizon("A5", days)?;
+    Ok(backfill_flavour_sweep(region, days, seed))
+}
+
+/// Validated [`failure_resilience_sweep`]: A6 needs no trace
+/// calibration, but a zero-day horizon generates an empty workload and
+/// every row degenerates — rejected as invalid input.
+pub fn try_failure_resilience_sweep(days: usize, seed: u64) -> Result<Vec<FailureRow>, SimError> {
+    if days == 0 {
+        return Err(SimError::invalid_input(
+            "A6 days must be >= 1 (a zero-day horizon generates no workload)",
+        ));
+    }
+    Ok(failure_resilience_sweep(days, seed))
 }
 
 #[cfg(test)]

@@ -110,6 +110,20 @@ pub fn renewable_share_sweep(steps: usize) -> Vec<RenewableShareRow> {
         .collect()
 }
 
+/// Validated [`renewable_share_sweep`]: rejects `steps < 2` (the sweep
+/// interpolates between its endpoints) with a typed error instead of
+/// asserting.
+pub fn try_renewable_share_sweep(
+    steps: usize,
+) -> Result<Vec<RenewableShareRow>, sustain_sim_core::error::SimError> {
+    if steps < 2 {
+        return Err(sustain_sim_core::error::SimError::invalid_input(format!(
+            "E4 steps must be >= 2 to span the renewable-share axis, got {steps}"
+        )));
+    }
+    Ok(renewable_share_sweep(steps))
+}
+
 /// The renewable fraction at which embodied crosses 50 % of the total
 /// (linear interpolation over the sweep).
 pub fn renewable_fraction_at_half_embodied() -> f64 {

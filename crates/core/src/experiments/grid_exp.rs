@@ -51,11 +51,23 @@ pub fn fig2_carbon_intensity(seed: u64) -> Fig2Result {
             max_daily: stats.max(),
         }
     });
-    let fi = rows.iter().find(|r| r.region == "Finland").unwrap();
-    let fr = rows.iter().find(|r| r.region == "France").unwrap();
+    // Region::ALL always contains both headline regions.
+    let monthly_mean = |name: &str| -> f64 {
+        rows.iter()
+            .find(|r| r.region == name)
+            .map(|r| r.monthly_mean)
+            .unwrap_or_else(|| panic!("{name} missing from Region::ALL sweep"))
+    };
+    let fi_mean = monthly_mean("Finland");
+    let fr_mean = monthly_mean("France");
+    let fi_std = rows
+        .iter()
+        .find(|r| r.region == "Finland")
+        .map(|r| r.daily_std)
+        .unwrap_or_else(|| panic!("Finland missing from Region::ALL sweep"));
     Fig2Result {
-        finland_france_ratio: fi.monthly_mean / fr.monthly_mean,
-        finland_daily_std: fi.daily_std,
+        finland_france_ratio: fi_mean / fr_mean,
+        finland_daily_std: fi_std,
         rows,
     }
 }

@@ -29,19 +29,45 @@ pub mod operations;
 pub mod runtime;
 pub mod users;
 
+use sustain_sim_core::error::{ConfigError, SimError};
+
+/// Shared horizon check for the parameterized experiments: they all
+/// synthesize and *calibrate* a grid trace, and calibration rescales the
+/// spread of daily means — meaningless below two days of data.
+///
+/// `experiment` is the paper artifact ID (`"E8"`, `"A1"`, …) so the
+/// error names which entry point rejected the horizon.
+fn ensure_horizon(experiment: &str, days: usize) -> Result<(), SimError> {
+    if days < 2 {
+        return Err(ConfigError::new(
+            experiment,
+            "days",
+            format!("must be >= 2 to calibrate the grid trace, got {days}"),
+        )
+        .into());
+    }
+    Ok(())
+}
+
 pub use ablation::{
     backfill_flavour_sweep, checkpoint_overhead_sweep, failure_resilience_sweep,
     forecast_scaling_ablation, green_threshold_sweep, malleable_fraction_sweep,
+    try_backfill_flavour_sweep, try_checkpoint_overhead_sweep, try_failure_resilience_sweep,
+    try_forecast_scaling_ablation, try_green_threshold_sweep, try_malleable_fraction_sweep,
 };
 
 pub use design::{budget_tradeoff, dse_carbon_metrics};
 pub use embodied::{
     chiplet_packaging, claim_reuse_vs_recycle, fig1_embodied_breakdown, lrz_embodied_dominance,
     renewable_fraction_at_half_embodied, renewable_share_sweep, table1_lrz_lifetimes,
+    try_renewable_share_sweep,
 };
 pub use grid_exp::{average_vs_marginal_sweep, fig2_carbon_intensity};
 pub use operations::{
     carbon_aware_power_scaling, carbon_aware_scheduling, malleability_under_power,
+    try_carbon_aware_power_scaling, try_carbon_aware_scheduling, try_malleability_under_power,
 };
 pub use runtime::countdown_savings;
-pub use users::{billing_demo, carbon500, green_incentives, user_overallocation};
+pub use users::{
+    billing_demo, carbon500, green_incentives, try_user_overallocation, user_overallocation,
+};

@@ -9,6 +9,7 @@ use sustain_grid::region::{Region, RegionProfile};
 use sustain_power::carbon_scaler::ScalingPolicy;
 use sustain_scheduler::cluster::Cluster;
 use sustain_scheduler::sim::{CarbonAwareCfg, CheckpointCfg, Policy};
+use sustain_sim_core::error::SimError;
 use sustain_sim_core::units::Power;
 use sustain_workload::synth::WorkloadConfig;
 
@@ -151,6 +152,17 @@ pub fn carbon_aware_power_scaling(region: Region, days: usize, seed: u64) -> Vec
     })
 }
 
+/// Validated [`carbon_aware_power_scaling`]: rejects degenerate horizons
+/// with a typed error instead of panicking in trace calibration.
+pub fn try_carbon_aware_power_scaling(
+    region: Region,
+    days: usize,
+    seed: u64,
+) -> Result<Vec<OpsRow>, SimError> {
+    crate::experiments::ensure_horizon("E8", days)?;
+    Ok(carbon_aware_power_scaling(region, days, seed))
+}
+
 /// E9 — malleability under a carbon-driven power budget: the same
 /// workload run rigidly vs with §3.2 reshaping enabled.
 pub fn malleability_under_power(region: Region, days: usize, seed: u64) -> Vec<OpsRow> {
@@ -188,6 +200,16 @@ pub fn malleability_under_power(region: Region, days: usize, seed: u64) -> Vec<O
     )
 }
 
+/// Validated [`malleability_under_power`].
+pub fn try_malleability_under_power(
+    region: Region,
+    days: usize,
+    seed: u64,
+) -> Result<Vec<OpsRow>, SimError> {
+    crate::experiments::ensure_horizon("E9", days)?;
+    Ok(malleability_under_power(region, days, seed))
+}
+
 /// E10 — carbon-aware scheduling and checkpointing: EASY vs the §3.3
 /// green-period gate vs gate + checkpoint/suspend.
 pub fn carbon_aware_scheduling(region: Region, days: usize, seed: u64) -> Vec<OpsRow> {
@@ -223,6 +245,16 @@ pub fn carbon_aware_scheduling(region: Region, days: usize, seed: u64) -> Vec<Op
         };
         OpsRow::from_result(*label, &run(&scenario))
     })
+}
+
+/// Validated [`carbon_aware_scheduling`].
+pub fn try_carbon_aware_scheduling(
+    region: Region,
+    days: usize,
+    seed: u64,
+) -> Result<Vec<OpsRow>, SimError> {
+    crate::experiments::ensure_horizon("E10", days)?;
+    Ok(carbon_aware_scheduling(region, days, seed))
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@ use sustain_grid::region::{Region, RegionProfile};
 use sustain_power::pue::PueModel;
 use sustain_scheduler::cluster::Cluster;
 use sustain_scheduler::sim::Policy;
+use sustain_sim_core::error::SimError;
 use sustain_sim_core::time::SimDuration;
 use sustain_sim_core::units::CarbonIntensity;
 use sustain_telemetry::carbon500::{rank, Carbon500Entry, Carbon500Row};
@@ -80,6 +81,17 @@ pub fn user_overallocation(region: Region, days: usize, seed: u64) -> Vec<Overal
         row.excess_carbon_kg = (row.job_carbon_t - base_c) * 1000.0;
     }
     rows
+}
+
+/// Validated [`user_overallocation`]: rejects degenerate horizons with a
+/// typed error instead of panicking in trace calibration.
+pub fn try_user_overallocation(
+    region: Region,
+    days: usize,
+    seed: u64,
+) -> Result<Vec<OverallocationRow>, SimError> {
+    crate::experiments::ensure_horizon("E11a", days)?;
+    Ok(user_overallocation(region, days, seed))
 }
 
 /// One row of the E11b incentive sweep.

@@ -34,22 +34,26 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod experiments;
 pub mod scenario;
 pub mod site;
 pub mod sweep;
 
-pub use scenario::{run, Scenario, ScenarioResult};
+pub use scenario::{run, try_run, Scenario, ScenarioResult};
 pub use site::{lifetime_report, LifetimeCarbonReport, Site};
 
 /// Convenience prelude: the most commonly used items across the
 /// workspace.
 pub mod prelude {
     pub use crate::experiments::*;
-    pub use crate::scenario::{run, Scenario, ScenarioResult};
+    pub use crate::scenario::{run, try_run, Scenario, ScenarioResult};
     pub use crate::site::{lifetime_report, LifetimeCarbonReport, Site};
-    pub use crate::sweep::{calibrated_trace, set_threads, sweep, sweep_seeded};
+    pub use crate::sweep::{
+        calibrated_trace, set_threads, sweep, sweep_seeded, try_sweep, try_sweep_seeded, PointError,
+    };
     pub use sustain_carbon_model::metrics::DesignMetric;
     pub use sustain_carbon_model::system::SystemInventory;
     pub use sustain_grid::green::GreenDetector;
@@ -59,6 +63,7 @@ pub mod prelude {
     pub use sustain_power::carbon_scaler::ScalingPolicy;
     pub use sustain_scheduler::cluster::Cluster;
     pub use sustain_scheduler::sim::{simulate, CarbonAwareCfg, CheckpointCfg, Policy, SimConfig};
+    pub use sustain_sim_core::error::{ConfigError, SimError, Validate};
     pub use sustain_sim_core::time::{SimDuration, SimTime};
     pub use sustain_sim_core::units::{Carbon, CarbonIntensity, Energy, Power};
     pub use sustain_workload::job::{Job, JobBuilder, JobClass, JobId};

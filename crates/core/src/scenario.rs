@@ -16,6 +16,7 @@ use sustain_power::pue::PueModel;
 use sustain_scheduler::cluster::Cluster;
 use sustain_scheduler::metrics::SimOutcome;
 use sustain_scheduler::sim::{simulate, CheckpointCfg, Policy, SimConfig};
+use sustain_sim_core::error::{ensure_at_least, ConfigError, SimError, Validate};
 use sustain_sim_core::time::SimDuration;
 use sustain_sim_core::units::Carbon;
 use sustain_telemetry::accounting::{profile_job, site_account, JobCarbonProfile, SiteAccount};
@@ -69,6 +70,31 @@ impl Scenario {
             pue: PueModel::efficient_hpc(),
             seed: 2023,
         }
+    }
+}
+
+impl Validate for Scenario {
+    fn validate(&self) -> Result<(), ConfigError> {
+        ensure_at_least("Scenario", "days", self.days, 1)?;
+        // Calibration rescales the spread of *daily means*, which needs
+        // at least two days whenever the profile has synoptic variance.
+        if self.region.synoptic_std > 0.0 && self.days < 2 {
+            return Err(ConfigError::new(
+                "Scenario",
+                "days",
+                "must be >= 2 to calibrate a region with synoptic variance",
+            ));
+        }
+        ensure_at_least("Scenario", "cluster.nodes", self.cluster.nodes as usize, 1)?;
+        self.region.validate().map_err(|e| e.nested("Scenario"))?;
+        self.workload.validate().map_err(|e| e.nested("Scenario"))?;
+        self.policy.validate().map_err(|e| e.nested("Scenario"))?;
+        self.queues.validate().map_err(|e| e.nested("Scenario"))?;
+        self.scaling.validate().map_err(|e| e.nested("Scenario"))?;
+        self.checkpoint
+            .validate()
+            .map_err(|e| e.nested("Scenario"))?;
+        Ok(())
     }
 }
 
@@ -148,6 +174,16 @@ pub fn run(scenario: &Scenario) -> ScenarioResult {
     }
 }
 
+/// Validated [`run`]: checks the scenario's whole configuration tree up
+/// front and returns a typed [`SimError`] instead of panicking deep in
+/// the stack. Prefer this at program boundaries (CLI flags, config
+/// files); [`run`] remains the zero-overhead path for trusted,
+/// already-validated scenarios.
+pub fn try_run(scenario: &Scenario) -> Result<ScenarioResult, SimError> {
+    scenario.validate()?;
+    Ok(run(scenario))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,6 +212,43 @@ mod tests {
         let b = run(&small_scenario());
         assert_eq!(a.outcome.makespan, b.outcome.makespan);
         assert_eq!(a.site.carbon.grams(), b.site.carbon.grams());
+    }
+
+    #[test]
+    fn try_run_accepts_valid_and_rejects_invalid() {
+        let ok = {
+            let mut s = small_scenario();
+            s.days = 3;
+            s
+        };
+        assert!(try_run(&ok).is_ok());
+
+        let mut zero_days = small_scenario();
+        zero_days.days = 0;
+        let err = try_run(&zero_days).unwrap_err();
+        assert!(err.to_string().contains("Scenario.days"), "{err}");
+
+        // Cluster::new(0) asserts; a deserialized config could still
+        // carry zero nodes, so build the degenerate value directly.
+        let mut empty_cluster = small_scenario();
+        empty_cluster.cluster = Cluster {
+            nodes: 0,
+            idle_node_power: sustain_sim_core::units::Power::ZERO,
+        };
+        assert!(try_run(&empty_cluster).is_err());
+
+        let mut bad_workload = small_scenario();
+        bad_workload.workload.arrivals_per_hour = f64::NAN;
+        let err = try_run(&bad_workload).unwrap_err();
+        assert!(err.to_string().contains("arrivals_per_hour"), "{err}");
+
+        let mut one_day_synoptic = small_scenario();
+        one_day_synoptic.days = 1;
+        assert!(
+            one_day_synoptic.region.synoptic_std > 0.0,
+            "profile must exercise the calibration guard"
+        );
+        assert!(try_run(&one_day_synoptic).is_err());
     }
 
     #[test]

@@ -24,15 +24,18 @@
 //! `--threads` flag) or the [`THREADS_ENV`] environment variable; `0`
 //! or unset means "use all available hardware parallelism".
 
+use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use sustain_grid::region::RegionProfile;
 use sustain_grid::synth::generate_calibrated_arc;
 use sustain_grid::trace::CarbonTrace;
+use sustain_sim_core::error::SimError;
 use sustain_sim_core::rng::RngStream;
 
 use rayon::prelude::*;
 
-pub use sustain_grid::synth::{global_trace_cache, TraceCache, TraceKey};
+pub use sustain_grid::synth::{global_trace_cache, CacheStats, TraceCache, TraceKey};
 
 /// Environment variable that sets the sweep worker-thread count
 /// (equivalent to the CLI's `--threads`). `0` = hardware parallelism.
@@ -43,11 +46,11 @@ pub const THREADS_ENV: &str = "SUSTAIN_THREADS";
 /// `1` forces fully serial, in-thread execution.
 pub fn set_threads(n: usize) {
     // The vendored pool has no persistent workers to rebuild, so
-    // repeated reconfiguration cannot fail.
-    rayon::ThreadPoolBuilder::new()
+    // repeated reconfiguration cannot fail; a future upstream error
+    // would mean the previous count simply stays in effect.
+    let _ = rayon::ThreadPoolBuilder::new()
         .num_threads(n)
-        .build_global()
-        .expect("thread count is a plain atomic store");
+        .build_global();
 }
 
 /// Number of worker threads sweeps will currently use.
@@ -107,6 +110,97 @@ where
         .collect()
 }
 
+/// Structured failure of one sweep point, produced by [`try_sweep`] /
+/// [`try_sweep_seeded`] when the point's closure panics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PointError {
+    /// Index of the failed point in the input slice.
+    pub index: usize,
+    /// Rendered panic payload (the `panic!`/`assert!` message, or a
+    /// placeholder for non-string payloads).
+    pub message: String,
+}
+
+impl std::fmt::Display for PointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sweep point {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for PointError {}
+
+impl From<PointError> for SimError {
+    fn from(e: PointError) -> SimError {
+        SimError::Faulted {
+            unit: format!("sweep point {}", e.index),
+            message: e.message,
+        }
+    }
+}
+
+/// Renders a caught panic payload: `&str` and `String` payloads (the
+/// output of `panic!`/`assert!` with a message) are preserved verbatim.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Fault-isolated [`sweep`]: each point runs inside
+/// `catch_unwind(AssertUnwindSafe(..))`, so one poisoned point yields a
+/// per-point [`PointError`] while every other point completes. Results
+/// come back in input order (same order-preserving pool as [`sweep`]),
+/// so a run with no failing points is bit-for-bit identical to
+/// `sweep(points, f).into_iter().map(Ok).collect()`.
+///
+/// The default panic hook still prints the panic message of a caught
+/// point to stderr; install a quiet hook if that noise matters.
+pub fn try_sweep<P, R, F>(points: &[P], f: F) -> Vec<Result<R, PointError>>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(&P) -> R + Sync,
+{
+    (0..points.len())
+        .into_par_iter()
+        .map(|index| {
+            catch_unwind(AssertUnwindSafe(|| f(&points[index]))).map_err(|payload| PointError {
+                index,
+                message: panic_message(payload),
+            })
+        })
+        .collect()
+}
+
+/// Fault-isolated [`sweep_seeded`]: per-point deterministic sub-seeds
+/// (identical to [`sweep_seeded`]'s, see [`point_seed`]) plus the
+/// per-point panic isolation of [`try_sweep`].
+pub fn try_sweep_seeded<P, R, F>(master_seed: u64, points: &[P], f: F) -> Vec<Result<R, PointError>>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(&P, u64) -> R + Sync,
+{
+    let seeds: Vec<u64> = (0..points.len() as u64)
+        .map(|i| point_seed(master_seed, i))
+        .collect();
+    (0..points.len())
+        .into_par_iter()
+        .map(|index| {
+            catch_unwind(AssertUnwindSafe(|| f(&points[index], seeds[index]))).map_err(|payload| {
+                PointError {
+                    index,
+                    message: panic_message(payload),
+                }
+            })
+        })
+        .collect()
+}
+
 /// Calibrated carbon trace for `(profile, days, seed)`, served from the
 /// process-wide [`TraceCache`]: the first caller generates and
 /// calibrates, every later caller (any thread) gets the same `Arc`.
@@ -148,6 +242,65 @@ mod tests {
         assert_eq!(seeds.len(), points.len(), "per-point seeds must differ");
         let other = sweep_seeded(43, &points, |_, seed| seed);
         assert_ne!(other, first.iter().map(|(_, s)| *s).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_sweep_isolates_panicking_points() {
+        let points: Vec<u64> = (0..9).collect();
+        let results = try_sweep(&points, |&x| {
+            assert!(x != 4, "injected failure at four");
+            x * 10
+        });
+        assert_eq!(results.len(), points.len());
+        for (i, r) in results.iter().enumerate() {
+            if i == 4 {
+                let err = r.as_ref().unwrap_err();
+                assert_eq!(err.index, 4);
+                assert!(err.message.contains("injected failure"), "{err}");
+            } else {
+                assert_eq!(*r, Ok(i as u64 * 10));
+            }
+        }
+    }
+
+    #[test]
+    fn try_sweep_matches_sweep_when_nothing_panics() {
+        let points: Vec<u64> = (0..64).collect();
+        let f = |&x: &u64| (x * x).wrapping_mul(0x9E37_79B9) as f64 / 7.0;
+        let plain = sweep(&points, f);
+        let tried = try_sweep(&points, f);
+        assert_eq!(
+            tried.into_iter().map(Result::unwrap).collect::<Vec<_>>(),
+            plain
+        );
+    }
+
+    #[test]
+    fn try_sweep_seeded_uses_same_seeds_and_isolates() {
+        let points = ["a", "b", "c"];
+        let results = try_sweep_seeded(42, &points, |p, seed| {
+            assert!(*p != "b", "poisoned point");
+            seed
+        });
+        assert_eq!(results[0], Ok(point_seed(42, 0)));
+        assert!(results[1].is_err());
+        assert_eq!(results[2], Ok(point_seed(42, 2)));
+        let again = try_sweep_seeded(42, &points, |p, seed| {
+            assert!(*p != "b", "poisoned point");
+            seed
+        });
+        assert_eq!(results, again, "fault isolation must stay deterministic");
+    }
+
+    #[test]
+    fn point_error_converts_to_sim_error() {
+        let e = PointError {
+            index: 7,
+            message: "boom".into(),
+        };
+        assert_eq!(e.to_string(), "sweep point 7 panicked: boom");
+        let s: SimError = e.into();
+        assert!(s.to_string().contains("sweep point 7"));
     }
 
     #[test]

@@ -35,8 +35,10 @@ impl Forecaster for Persistence {
         "persistence"
     }
     fn fit(&mut self, history: &[f64]) {
-        assert!(!history.is_empty(), "empty history");
-        self.last = *history.last().unwrap();
+        match history.last() {
+            Some(&v) => self.last = v,
+            None => panic!("empty history"),
+        }
     }
     fn predict(&self, horizon: usize) -> Vec<f64> {
         vec![self.last; horizon]

@@ -98,10 +98,17 @@ pub fn parse_carbon_csv(name: &str, text: &str) -> Result<CarbonTrace, CsvImport
             });
         }
     }
+    // The subtraction above only guarantees `step > 0` for ordinary
+    // inputs; timestamps parsed as `inf`/`nan` still reach here, so the
+    // untrusted value goes through the fallible constructor.
+    let step = SimDuration::try_from_secs(step).map_err(|e| CsvImportError {
+        line: 2,
+        message: format!("bad cadence: {e}"),
+    })?;
     let values: Vec<f64> = rows.iter().map(|r| r.1).collect();
     Ok(CarbonTrace::new(
         name,
-        TimeSeries::new(SimTime::ZERO, SimDuration::from_secs(step), values),
+        TimeSeries::new(SimTime::ZERO, step, values),
     ))
 }
 
@@ -158,6 +165,10 @@ timestamp_s,gco2_per_kwh
             ("0,-5\n3600,1\n", "out of range"),
             ("0,1,9\n3600,2,9\n", "two columns"),
             ("0,1\n", "two data rows"),
+            // Parseable but non-finite timestamps must yield a typed
+            // error, not a panicking SimDuration construction.
+            ("0,1\ninf,2\n", "bad cadence"),
+            ("nan,1\nnan,2\n", "bad cadence"),
         ] {
             let err = parse_carbon_csv("x", text).unwrap_err();
             assert!(err.message.contains(needle), "{text:?} → {err}");

@@ -21,6 +21,8 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod forecast;
 pub mod green;
@@ -35,5 +37,5 @@ pub use forecast::{backtest, Forecaster};
 pub use green::{GreenDetector, GreenPeriod};
 pub use import::{parse_carbon_csv, to_carbon_csv};
 pub use region::{Region, RegionProfile, CI_COAL_G_PER_KWH, CI_HYDRO_G_PER_KWH};
-pub use synth::{generate_calibrated, generate_hourly};
+pub use synth::{generate_calibrated, generate_calibrated_arc, generate_hourly, CacheStats};
 pub use trace::CarbonTrace;

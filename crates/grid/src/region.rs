@@ -10,6 +10,9 @@
 //! remaining regions set to plausible relative levels.
 
 use serde::{Deserialize, Serialize};
+use sustain_sim_core::error::{
+    ensure_fraction, ensure_non_negative, ensure_positive, ConfigError, Validate,
+};
 use sustain_sim_core::units::CarbonIntensity;
 
 /// Carbon intensity of hydropower (the LRZ supply; §2 of the paper).
@@ -98,6 +101,19 @@ pub struct RegionProfile {
     /// Fractional reduction of intensity on weekends (lower demand →
     /// cleaner marginal unit).
     pub weekend_drop: f64,
+}
+
+impl Validate for RegionProfile {
+    fn validate(&self) -> Result<(), ConfigError> {
+        const CTX: &str = "RegionProfile";
+        ensure_positive(CTX, "mean_g_per_kwh", self.mean_g_per_kwh)?;
+        ensure_non_negative(CTX, "diurnal_amplitude", self.diurnal_amplitude)?;
+        ensure_non_negative(CTX, "solar_dip", self.solar_dip)?;
+        ensure_non_negative(CTX, "synoptic_std", self.synoptic_std)?;
+        ensure_non_negative(CTX, "synoptic_corr_hours", self.synoptic_corr_hours)?;
+        ensure_non_negative(CTX, "noise_std", self.noise_std)?;
+        ensure_fraction(CTX, "weekend_drop", self.weekend_drop)
+    }
 }
 
 impl RegionProfile {

@@ -10,8 +10,9 @@
 
 use crate::region::RegionProfile;
 use crate::trace::CarbonTrace;
-use parking_lot::RwLock;
+use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use sustain_sim_core::rng::RngStream;
 use sustain_sim_core::series::TimeSeries;
@@ -153,27 +154,107 @@ impl TraceKey {
     }
 }
 
+/// Default capacity of the process-wide [`TraceCache`]: generous (an
+/// experiment suite run touches well under a hundred distinct traces)
+/// but bounded, so a long-lived service sweeping many profiles cannot
+/// grow the cache without limit.
+pub const DEFAULT_TRACE_CACHE_CAPACITY: usize = 256;
+
+/// Environment variable overriding the global trace cache capacity
+/// (`0` = unbounded).
+pub const TRACE_CACHE_CAP_ENV: &str = "SUSTAIN_TRACE_CACHE_CAP";
+
+/// Counter and occupancy snapshot from [`TraceCache::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Requests served from the cache.
+    pub hits: u64,
+    /// Requests that had to generate (including racing first requests).
+    pub misses: u64,
+    /// Entries evicted to enforce the capacity bound.
+    pub evictions: u64,
+    /// Traces currently cached.
+    pub len: usize,
+    /// Capacity bound (`0` = unbounded).
+    pub capacity: usize,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    trace: Arc<CarbonTrace>,
+    /// Logical timestamp of the most recent access (every cache request
+    /// advances the clock), so eviction can pick the least recently used
+    /// entry deterministically — timestamps are unique.
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: HashMap<TraceKey, CacheEntry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
 /// Process-wide cache of calibrated traces, shared by every sweep point.
 ///
 /// Calibrated generation is the dominant fixed cost of a sweep point
 /// (31 days × 24 hourly samples plus moment calibration); sweeps re-request
 /// the same `(profile, days, seed)` for every policy/threshold variation,
-/// so one generation serves the whole sweep. Readers take a shared lock;
-/// the write lock is held only to insert.
-#[derive(Debug, Default)]
+/// so one generation serves the whole sweep.
+///
+/// The cache is bounded: once more than `capacity` distinct keys have been
+/// inserted, the least recently used entry is evicted (capacity `0` means
+/// unbounded). Entries still in the cache keep their `Arc` identity across
+/// hits; an evicted key regenerates on next request — same values, new
+/// allocation. Hit/miss/eviction counters are exposed via [`stats`].
+///
+/// [`stats`]: TraceCache::stats
+#[derive(Debug)]
 pub struct TraceCache {
-    map: RwLock<HashMap<TraceKey, Arc<CarbonTrace>>>,
+    capacity: AtomicUsize,
+    inner: Mutex<CacheInner>,
+}
+
+impl Default for TraceCache {
+    fn default() -> Self {
+        TraceCache::with_capacity(DEFAULT_TRACE_CACHE_CAPACITY)
+    }
 }
 
 impl TraceCache {
-    /// Create an empty cache.
+    /// Create an empty cache with the default capacity bound.
     pub fn new() -> TraceCache {
         TraceCache::default()
     }
 
+    /// Create an empty cache holding at most `capacity` traces
+    /// (`0` = unbounded).
+    pub fn with_capacity(capacity: usize) -> TraceCache {
+        TraceCache {
+            capacity: AtomicUsize::new(capacity),
+            inner: Mutex::new(CacheInner::default()),
+        }
+    }
+
+    /// Current capacity bound (`0` = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity.load(Ordering::Relaxed)
+    }
+
+    /// Change the capacity bound, immediately evicting down to it if the
+    /// cache currently holds more entries.
+    pub fn set_capacity(&self, capacity: usize) {
+        self.capacity.store(capacity, Ordering::Relaxed);
+        let mut guard = self.inner.lock();
+        Self::evict_to_cap(&mut guard, capacity);
+    }
+
     /// Fetch the calibrated trace for `(profile, days, seed)`, generating
     /// and inserting it on first use. Hits return a clone of the cached
-    /// `Arc` (pointer-identical trace data).
+    /// `Arc` (pointer-identical trace data) and refresh the entry's LRU
+    /// position.
     pub fn get_or_generate(
         &self,
         profile: &RegionProfile,
@@ -181,20 +262,52 @@ impl TraceCache {
         seed: u64,
     ) -> Arc<CarbonTrace> {
         let key = TraceKey::new(profile, days, seed);
-        if let Some(hit) = self.map.read().get(&key) {
-            return Arc::clone(hit);
+        {
+            let mut guard = self.inner.lock();
+            let inner = &mut *guard;
+            inner.tick += 1;
+            let now = inner.tick;
+            if let Some(entry) = inner.map.get_mut(&key) {
+                entry.last_used = now;
+                inner.hits += 1;
+                return Arc::clone(&entry.trace);
+            }
         }
         // Generate outside any lock: concurrent first requests may race and
         // generate twice, but generation is deterministic so both produce
         // identical traces and the first insert wins.
         let trace = Arc::new(generate_calibrated(profile, days, seed));
-        let mut map = self.map.write();
-        Arc::clone(map.entry(key).or_insert(trace))
+        let mut guard = self.inner.lock();
+        let inner = &mut *guard;
+        inner.tick += 1;
+        let now = inner.tick;
+        inner.misses += 1;
+        let entry = inner.map.entry(key).or_insert(CacheEntry {
+            trace,
+            last_used: now,
+        });
+        entry.last_used = now;
+        let arc = Arc::clone(&entry.trace);
+        let cap = self.capacity.load(Ordering::Relaxed);
+        Self::evict_to_cap(inner, cap);
+        arc
+    }
+
+    /// Hit/miss/eviction counters and current occupancy.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            len: inner.map.len(),
+            capacity: self.capacity.load(Ordering::Relaxed),
+        }
     }
 
     /// Number of cached traces.
     pub fn len(&self) -> usize {
-        self.map.read().len()
+        self.inner.lock().map.len()
     }
 
     /// `true` if nothing is cached.
@@ -202,16 +315,52 @@ impl TraceCache {
         self.len() == 0
     }
 
-    /// Drop all cached traces.
+    /// Drop all cached traces. The hit/miss/eviction counters are
+    /// preserved (dropped entries do not count as evictions).
     pub fn clear(&self) {
-        self.map.write().clear();
+        self.inner.lock().map.clear();
+    }
+
+    /// Evicts least-recently-used entries until `len <= cap`. Access
+    /// timestamps are unique, so the victim order is deterministic
+    /// regardless of `HashMap` iteration order.
+    fn evict_to_cap(inner: &mut CacheInner, cap: usize) {
+        if cap == 0 {
+            return;
+        }
+        while inner.map.len() > cap {
+            // O(len) scan; len is bounded by the capacity and eviction is
+            // off the generation hot path.
+            let victim = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&k, _)| k);
+            match victim {
+                Some(k) => {
+                    inner.map.remove(&k);
+                    inner.evictions += 1;
+                }
+                None => break,
+            }
+        }
     }
 }
 
 /// The process-wide [`TraceCache`] used by [`generate_calibrated_arc`].
+///
+/// Capacity defaults to [`DEFAULT_TRACE_CACHE_CAPACITY`] and can be
+/// overridden (first use wins) via [`TRACE_CACHE_CAP_ENV`], or changed at
+/// runtime with [`TraceCache::set_capacity`].
 pub fn global_trace_cache() -> &'static TraceCache {
     static CACHE: OnceLock<TraceCache> = OnceLock::new();
-    CACHE.get_or_init(TraceCache::new)
+    CACHE.get_or_init(|| {
+        let cap = std::env::var(TRACE_CACHE_CAP_ENV)
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(DEFAULT_TRACE_CACHE_CAPACITY);
+        TraceCache::with_capacity(cap)
+    })
 }
 
 /// Cache-backed variant of [`generate_calibrated`]: returns a shared
@@ -364,6 +513,54 @@ mod tests {
         cache.get_or_generate(&p, 8, 5);
         cache.get_or_generate(&p, 7, 6);
         assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
+    fn cache_respects_capacity_with_lru_eviction() {
+        let cache = TraceCache::with_capacity(2);
+        let p = RegionProfile::january_2023(Region::Sweden);
+        let a = cache.get_or_generate(&p, 2, 1);
+        let _b = cache.get_or_generate(&p, 2, 2);
+        // Touch `a`'s key so seed 2 becomes the LRU entry.
+        assert!(Arc::ptr_eq(&a, &cache.get_or_generate(&p, 2, 1)));
+        // Third distinct key evicts seed 2 (the least recently used).
+        let _c = cache.get_or_generate(&p, 2, 3);
+        let s = cache.stats();
+        assert_eq!(s.len, 2);
+        assert_eq!(s.capacity, 2);
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 3);
+        // Seed 1 survived eviction with its Arc identity intact…
+        assert!(Arc::ptr_eq(&a, &cache.get_or_generate(&p, 2, 1)));
+        // …while the evicted seed 2 regenerates: same values, new Arc,
+        // and the insert evicts again to stay within capacity.
+        let b2 = cache.get_or_generate(&p, 2, 2);
+        assert_eq!(
+            b2.series().values(),
+            generate_calibrated(&p, 2, 2).series().values()
+        );
+        assert_eq!(cache.stats().evictions, 2);
+        assert!(cache.len() <= 2);
+    }
+
+    #[test]
+    fn cache_set_capacity_evicts_down_and_zero_means_unbounded() {
+        let cache = TraceCache::with_capacity(0);
+        let p = RegionProfile::january_2023(Region::Poland);
+        for seed in 0..5 {
+            cache.get_or_generate(&p, 2, seed);
+        }
+        assert_eq!(cache.len(), 5, "capacity 0 must not evict");
+        assert_eq!(cache.stats().evictions, 0);
+        cache.set_capacity(2);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 3);
+        // The survivors are the two most recently used (seeds 3, 4).
+        let before = cache.stats().misses;
+        cache.get_or_generate(&p, 2, 3);
+        cache.get_or_generate(&p, 2, 4);
+        assert_eq!(cache.stats().misses, before, "3 and 4 must be hits");
     }
 
     /// Paper anchor: calibrated Finland trace reproduces σ = 47.21 exactly

@@ -9,6 +9,7 @@
 //! never more than their demands.
 
 use serde::{Deserialize, Serialize};
+use sustain_sim_core::error::{ensure_non_negative, ensure_ordered, ConfigError, Validate};
 use sustain_sim_core::units::Power;
 
 /// One child's request at a division point.
@@ -40,6 +41,20 @@ impl BudgetRequest {
     pub fn priority(mut self, p: u32) -> Self {
         self.priority = p;
         self
+    }
+}
+
+impl Validate for BudgetRequest {
+    fn validate(&self) -> Result<(), ConfigError> {
+        ensure_non_negative("BudgetRequest", "min", self.min.watts())?;
+        ensure_non_negative("BudgetRequest", "demand", self.demand.watts())?;
+        ensure_ordered(
+            "BudgetRequest",
+            "min",
+            self.min.watts(),
+            "demand",
+            self.demand.watts(),
+        )
     }
 }
 

@@ -12,6 +12,9 @@
 use serde::{Deserialize, Serialize};
 use sustain_grid::forecast::Forecaster;
 use sustain_grid::trace::CarbonTrace;
+use sustain_sim_core::error::{
+    ensure_finite, ensure_non_negative, ensure_ordered, ConfigError, Validate,
+};
 use sustain_sim_core::series::TimeSeries;
 use sustain_sim_core::time::SimDuration;
 use sustain_sim_core::units::{Carbon, CarbonIntensity, Power};
@@ -56,6 +59,48 @@ pub enum ScalingPolicy {
         /// Permitted emission rate, kg CO₂e per hour.
         kg_per_hour: f64,
     },
+}
+
+impl Validate for ScalingPolicy {
+    fn validate(&self) -> Result<(), ConfigError> {
+        const CTX: &str = "ScalingPolicy";
+        match *self {
+            ScalingPolicy::Static { budget } => ensure_non_negative(CTX, "budget", budget.watts()),
+            ScalingPolicy::Linear {
+                floor,
+                ceiling,
+                ci_low,
+                ci_high,
+            } => {
+                ensure_non_negative(CTX, "floor", floor.watts())?;
+                ensure_non_negative(CTX, "ceiling", ceiling.watts())?;
+                ensure_ordered(CTX, "floor", floor.watts(), "ceiling", ceiling.watts())?;
+                ensure_finite(CTX, "ci_low", ci_low)?;
+                ensure_finite(CTX, "ci_high", ci_high)?;
+                ensure_ordered(CTX, "ci_low", ci_low, "ci_high", ci_high)
+            }
+            ScalingPolicy::Threshold {
+                floor,
+                ceiling,
+                threshold,
+            } => {
+                ensure_non_negative(CTX, "floor", floor.watts())?;
+                ensure_non_negative(CTX, "ceiling", ceiling.watts())?;
+                ensure_ordered(CTX, "floor", floor.watts(), "ceiling", ceiling.watts())?;
+                ensure_finite(CTX, "threshold", threshold)
+            }
+            ScalingPolicy::CarbonRateCap {
+                floor,
+                ceiling,
+                kg_per_hour,
+            } => {
+                ensure_non_negative(CTX, "floor", floor.watts())?;
+                ensure_non_negative(CTX, "ceiling", ceiling.watts())?;
+                ensure_ordered(CTX, "floor", floor.watts(), "ceiling", ceiling.watts())?;
+                ensure_non_negative(CTX, "kg_per_hour", kg_per_hour)
+            }
+        }
+    }
 }
 
 impl ScalingPolicy {

@@ -14,6 +14,8 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cluster;
 pub mod malleable;
@@ -24,4 +26,4 @@ pub mod sim;
 pub use cluster::Cluster;
 pub use metrics::{JobRecord, Segment, SimOutcome};
 pub use queue::{QueueConfig, QueueSet};
-pub use sim::{simulate, CarbonAwareCfg, CheckpointCfg, Policy, SimConfig};
+pub use sim::{simulate, try_simulate, CarbonAwareCfg, CheckpointCfg, Policy, SimConfig};

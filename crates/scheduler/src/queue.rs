@@ -8,6 +8,7 @@
 //! telemetry crate.
 
 use serde::{Deserialize, Serialize};
+use sustain_sim_core::error::{ConfigError, Validate};
 use sustain_sim_core::time::SimDuration;
 use sustain_workload::job::Job;
 
@@ -32,6 +33,39 @@ impl QueueConfig {
         job.requested_nodes >= self.min_nodes
             && job.requested_nodes <= self.max_nodes
             && job.walltime_estimate <= self.max_walltime
+    }
+}
+
+impl Validate for QueueConfig {
+    fn validate(&self) -> Result<(), ConfigError> {
+        if self.max_nodes == 0 {
+            return Err(ConfigError::new(
+                "QueueConfig",
+                "max_nodes",
+                format!("queue '{}' admits no node count (max_nodes = 0)", self.name),
+            ));
+        }
+        if self.min_nodes > self.max_nodes {
+            return Err(ConfigError::new(
+                "QueueConfig",
+                "min_nodes..max_nodes",
+                format!(
+                    "queue '{}' requires min_nodes ({}) <= max_nodes ({})",
+                    self.name, self.min_nodes, self.max_nodes
+                ),
+            ));
+        }
+        if self.max_walltime.is_zero() {
+            return Err(ConfigError::new(
+                "QueueConfig",
+                "max_walltime",
+                format!(
+                    "queue '{}' admits no walltime (max_walltime = 0)",
+                    self.name
+                ),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -78,6 +112,22 @@ impl QueueSet {
             .iter()
             .filter(|q| q.admits(job))
             .max_by_key(|q| q.priority)
+    }
+}
+
+impl Validate for QueueSet {
+    fn validate(&self) -> Result<(), ConfigError> {
+        if self.queues.is_empty() {
+            return Err(ConfigError::new(
+                "QueueSet",
+                "queues",
+                "at least one queue is required (use None for a single FIFO)",
+            ));
+        }
+        for q in &self.queues {
+            q.validate().map_err(|e| e.nested("QueueSet"))?;
+        }
+        Ok(())
     }
 }
 

@@ -23,6 +23,7 @@ use crate::cluster::{Allocation, Cluster};
 use crate::metrics::{JobRecord, Segment, SimOutcome};
 use serde::{Deserialize, Serialize};
 use sustain_grid::trace::CarbonTrace;
+use sustain_sim_core::error::{ensure_ordered, ensure_positive, ConfigError, SimError, Validate};
 use sustain_sim_core::event::{EventId, EventQueue};
 use sustain_sim_core::series::TimeSeries;
 use sustain_sim_core::time::{SimDuration, SimTime};
@@ -45,6 +46,15 @@ pub enum Policy {
     CarbonAware(CarbonAwareCfg),
 }
 
+impl Validate for Policy {
+    fn validate(&self) -> Result<(), ConfigError> {
+        match self {
+            Policy::CarbonAware(cfg) => cfg.validate().map_err(|e| e.nested("Policy")),
+            _ => Ok(()),
+        }
+    }
+}
+
 /// Configuration of the carbon-aware start gate.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CarbonAwareCfg {
@@ -65,6 +75,18 @@ impl Default for CarbonAwareCfg {
             short_job_cutoff: SimDuration::from_hours(2.0),
             max_delay: SimDuration::from_hours(24.0),
         }
+    }
+}
+
+impl Validate for CarbonAwareCfg {
+    fn validate(&self) -> Result<(), ConfigError> {
+        ensure_positive(
+            "CarbonAwareCfg",
+            "green_threshold_fraction",
+            self.green_threshold_fraction,
+        )
+        // Durations (`short_job_cutoff`, `max_delay`) are non-negative
+        // and finite by construction of `SimDuration`.
     }
 }
 
@@ -92,6 +114,14 @@ impl Default for FailureModel {
     }
 }
 
+impl Validate for FailureModel {
+    fn validate(&self) -> Result<(), ConfigError> {
+        // MTBF is a rate denominator: zero would mean "every node fails
+        // continuously" and divides by zero in the arrival sampling.
+        ensure_positive("FailureModel", "node_mtbf", self.node_mtbf.as_secs())
+    }
+}
+
 /// Fair-share configuration: users' recent (exponentially decayed) usage
 /// demotes their pending jobs within the same queue priority — the
 /// standard RJMS fairness mechanism, and the §3.4 hook for usage-based
@@ -107,6 +137,12 @@ impl Default for FairShareCfg {
         FairShareCfg {
             half_life: SimDuration::from_days(7.0),
         }
+    }
+}
+
+impl Validate for FairShareCfg {
+    fn validate(&self) -> Result<(), ConfigError> {
+        ensure_positive("FairShareCfg", "half_life", self.half_life.as_secs())
     }
 }
 
@@ -140,6 +176,38 @@ impl Default for CheckpointCfg {
             min_remaining: SimDuration::from_hours(1.0),
             interval: SimDuration::from_hours(1.0),
         }
+    }
+}
+
+impl Validate for CheckpointCfg {
+    fn validate(&self) -> Result<(), ConfigError> {
+        // `+∞` is a legal suspend threshold ("never CI-suspend", used by
+        // the E8 failure experiments), so only NaN and negatives are
+        // rejected here; `ensure_ordered` enforces the hysteresis.
+        for (field, v) in [
+            (
+                "suspend_threshold_fraction",
+                self.suspend_threshold_fraction,
+            ),
+            ("resume_threshold_fraction", self.resume_threshold_fraction),
+        ] {
+            if v.is_nan() || v < 0.0 {
+                return Err(ConfigError::new(
+                    "CheckpointCfg",
+                    field,
+                    format!("must be >= 0 (NaN rejected), got {v}"),
+                ));
+            }
+        }
+        ensure_ordered(
+            "CheckpointCfg",
+            "resume_threshold_fraction",
+            self.resume_threshold_fraction,
+            "suspend_threshold_fraction",
+            self.suspend_threshold_fraction,
+        )?;
+        // The periodic-checkpoint cadence divides remaining work.
+        ensure_positive("CheckpointCfg", "interval", self.interval.as_secs())
     }
 }
 
@@ -195,6 +263,61 @@ impl SimConfig {
             tick: SimDuration::from_hours(1.0),
             max_steps: 10_000_000,
         }
+    }
+}
+
+impl Validate for SimConfig {
+    fn validate(&self) -> Result<(), ConfigError> {
+        if self.cluster.nodes == 0 {
+            return Err(ConfigError::new(
+                "SimConfig",
+                "cluster.nodes",
+                "cluster needs at least one node",
+            ));
+        }
+        self.policy.validate().map_err(|e| e.nested("SimConfig"))?;
+        self.queues.validate().map_err(|e| e.nested("SimConfig"))?;
+        self.checkpoint
+            .validate()
+            .map_err(|e| e.nested("SimConfig"))?;
+        self.fair_share
+            .validate()
+            .map_err(|e| e.nested("SimConfig"))?;
+        self.failures
+            .validate()
+            .map_err(|e| e.nested("SimConfig"))?;
+        if let Some(trace) = &self.carbon_trace {
+            if trace.series().values().is_empty() {
+                return Err(ConfigError::new(
+                    "SimConfig",
+                    "carbon_trace",
+                    "trace must contain at least one sample",
+                ));
+            }
+            if let Some(bad) = trace.series().values().iter().find(|v| !v.is_finite()) {
+                return Err(ConfigError::new(
+                    "SimConfig",
+                    "carbon_trace",
+                    format!("trace contains a non-finite sample ({bad})"),
+                ));
+            }
+        }
+        if let Some(budget) = &self.power_budget {
+            if let Some(bad) = budget.values().iter().find(|v| !v.is_finite() || **v < 0.0) {
+                return Err(ConfigError::new(
+                    "SimConfig",
+                    "power_budget",
+                    format!("budget samples must be finite and >= 0, got {bad}"),
+                ));
+            }
+        }
+        // A zero tick would re-fire the periodic event at the same
+        // instant until `max_steps` trips.
+        ensure_positive("SimConfig", "tick", self.tick.as_secs())?;
+        if self.max_steps == 0 {
+            return Err(ConfigError::new("SimConfig", "max_steps", "must be >= 1"));
+        }
+        Ok(())
     }
 }
 
@@ -670,12 +793,9 @@ impl<'a> Sim<'a> {
                     // at real starts)? `choose_alloc` already guarantees
                     // the class minimum when it returns Some.
                     if let Some(actual) = self.choose_alloc(idx, now) {
-                        let pos = self
-                            .pending
-                            .iter()
-                            .position(|&p| p == idx)
-                            .expect("job is pending");
-                        self.pending.remove(pos);
+                        // `idx` came off the pending list above; retain
+                        // removes it without a panicking position lookup.
+                        self.pending.retain(|&p| p != idx);
                         let work = job.work;
                         self.start_job(idx, actual, work, now);
                         continue 'restart;
@@ -1155,6 +1275,15 @@ fn earliest_slot(
 /// ```
 pub fn simulate(jobs: &[Job], cfg: &SimConfig) -> SimOutcome {
     Sim::new(jobs, cfg).run()
+}
+
+/// Fallible front door for untrusted configurations: validates `cfg` up
+/// front and returns a typed [`SimError`] instead of panicking somewhere
+/// in the event loop. Internal invariant asserts remain — they fire on
+/// simulator bugs, not on bad input that got past this gate.
+pub fn try_simulate(jobs: &[Job], cfg: &SimConfig) -> Result<SimOutcome, SimError> {
+    cfg.validate()?;
+    Ok(simulate(jobs, cfg))
 }
 
 #[cfg(test)]

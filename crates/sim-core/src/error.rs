@@ -1,0 +1,324 @@
+//! Typed errors and boundary validation for the simulation stack.
+//!
+//! The workspace follows a two-tier error policy (see DESIGN.md,
+//! "Error-handling policy"):
+//!
+//! * **Boundaries return `Result`.** Everything a caller outside the
+//!   workspace can hand us — CLI flags, imported CSV, deserialized
+//!   configs, experiment parameters — is validated up front via the
+//!   [`Validate`] trait and surfaced as a [`ConfigError`] /
+//!   [`SimError`] instead of a panic.
+//! * **Interior invariants assert.** Once inputs have passed the
+//!   boundary, internal hot-path code keeps its `assert!`s: a failure
+//!   there is a bug in this workspace, not bad input, and dying loudly
+//!   beats silently producing wrong science.
+//!
+//! Both error types are `Serialize`/`Deserialize` so a service
+//! front-end can relay them as structured payloads, and both implement
+//! [`std::error::Error`] with proper source chaining.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A validation failure in a public configuration value.
+///
+/// `context` names the config type (`"CheckpointCfg"`), `field` the
+/// offending field (or a `lo..hi` pair for cross-field ordering
+/// constraints), and `message` the violated constraint including the
+/// observed value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigError {
+    /// The config type that failed validation.
+    pub context: String,
+    /// The offending field (or field pair for ordering constraints).
+    pub field: String,
+    /// The violated constraint, including the observed value.
+    pub message: String,
+}
+
+impl ConfigError {
+    /// Builds an error for `context.field`: `message`.
+    pub fn new(
+        context: impl Into<String>,
+        field: impl Into<String>,
+        message: impl Into<String>,
+    ) -> ConfigError {
+        ConfigError {
+            context: context.into(),
+            field: field.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Returns a copy whose context is prefixed with `outer.`, for
+    /// nesting errors from embedded configs (e.g.
+    /// `SimConfig.checkpoint` wrapping a `CheckpointCfg` failure).
+    pub fn nested(&self, outer: &str) -> ConfigError {
+        ConfigError {
+            context: format!("{outer}.{}", self.context),
+            field: self.field.clone(),
+            message: self.message.clone(),
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid {}.{}: {}",
+            self.context, self.field, self.message
+        )
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Top-level error returned by fallible simulation and experiment
+/// entry points (`try_simulate`, `try_run`, `try_sweep`, …).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SimError {
+    /// A configuration value failed boundary validation.
+    Config(ConfigError),
+    /// Degenerate input rejected at an entry point that is not tied to
+    /// a single config struct (e.g. an experiment's `days` parameter).
+    InvalidInput {
+        /// What was rejected and why.
+        message: String,
+    },
+    /// An isolated unit of work (e.g. one sweep point) panicked; the
+    /// unwind was caught at the fault boundary and converted here.
+    Faulted {
+        /// Which unit failed (a sweep point index, an experiment name).
+        unit: String,
+        /// The rendered panic payload.
+        message: String,
+    },
+}
+
+impl SimError {
+    /// Shorthand for [`SimError::InvalidInput`].
+    pub fn invalid_input(message: impl Into<String>) -> SimError {
+        SimError::InvalidInput {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config(e) => write!(f, "configuration rejected: {e}"),
+            SimError::InvalidInput { message } => write!(f, "invalid input: {message}"),
+            SimError::Faulted { unit, message } => {
+                write!(f, "fault isolated in {unit}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> SimError {
+        SimError::Config(e)
+    }
+}
+
+/// Boundary validation for public configuration structs.
+///
+/// Implementations check ranges, orderings, and finiteness of every
+/// field (and recurse into embedded configs), returning the *first*
+/// violation found. `validate` never panics: it is the layer that
+/// stands between untrusted input and the asserting interior.
+pub trait Validate {
+    /// Returns `Ok(())` if every field is in range, otherwise the first
+    /// violated constraint.
+    fn validate(&self) -> Result<(), ConfigError>;
+}
+
+/// `None` is vacuously valid; `Some(cfg)` validates the payload.
+impl<T: Validate> Validate for Option<T> {
+    fn validate(&self) -> Result<(), ConfigError> {
+        match self {
+            None => Ok(()),
+            Some(v) => v.validate(),
+        }
+    }
+}
+
+/// Requires `value` to be finite (rejects NaN and ±∞).
+pub fn ensure_finite(context: &str, field: &str, value: f64) -> Result<(), ConfigError> {
+    if value.is_finite() {
+        Ok(())
+    } else {
+        Err(ConfigError::new(
+            context,
+            field,
+            format!("must be finite, got {value}"),
+        ))
+    }
+}
+
+/// Requires `value` to be finite and `>= 0`.
+pub fn ensure_non_negative(context: &str, field: &str, value: f64) -> Result<(), ConfigError> {
+    ensure_finite(context, field, value)?;
+    if value >= 0.0 {
+        Ok(())
+    } else {
+        Err(ConfigError::new(
+            context,
+            field,
+            format!("must be >= 0, got {value}"),
+        ))
+    }
+}
+
+/// Requires `value` to be finite and `> 0`.
+pub fn ensure_positive(context: &str, field: &str, value: f64) -> Result<(), ConfigError> {
+    ensure_finite(context, field, value)?;
+    if value > 0.0 {
+        Ok(())
+    } else {
+        Err(ConfigError::new(
+            context,
+            field,
+            format!("must be > 0, got {value}"),
+        ))
+    }
+}
+
+/// Requires `value` to lie in the closed interval `[0, 1]`.
+pub fn ensure_fraction(context: &str, field: &str, value: f64) -> Result<(), ConfigError> {
+    ensure_finite(context, field, value)?;
+    if (0.0..=1.0).contains(&value) {
+        Ok(())
+    } else {
+        Err(ConfigError::new(
+            context,
+            field,
+            format!("must be in [0, 1], got {value}"),
+        ))
+    }
+}
+
+/// Requires `lo <= hi` (an ordering constraint across two fields).
+/// NaN on either side is rejected; ±∞ is allowed so "never trigger"
+/// sentinels like an infinite suspend threshold stay expressible.
+pub fn ensure_ordered(
+    context: &str,
+    lo_field: &str,
+    lo: f64,
+    hi_field: &str,
+    hi: f64,
+) -> Result<(), ConfigError> {
+    if lo.is_nan() {
+        return Err(ConfigError::new(context, lo_field, "must not be NaN"));
+    }
+    if hi.is_nan() {
+        return Err(ConfigError::new(context, hi_field, "must not be NaN"));
+    }
+    if lo <= hi {
+        Ok(())
+    } else {
+        Err(ConfigError::new(
+            context,
+            format!("{lo_field}..{hi_field}"),
+            format!("requires {lo_field} ({lo}) <= {hi_field} ({hi})"),
+        ))
+    }
+}
+
+/// Requires an integer count to be at least `min`.
+pub fn ensure_at_least(
+    context: &str,
+    field: &str,
+    value: usize,
+    min: usize,
+) -> Result<(), ConfigError> {
+    if value >= min {
+        Ok(())
+    } else {
+        Err(ConfigError::new(
+            context,
+            field,
+            format!("must be >= {min}, got {value}"),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn config_error_display_and_fields() {
+        let e = ConfigError::new("CheckpointCfg", "interval", "must be > 0, got 0");
+        assert_eq!(
+            e.to_string(),
+            "invalid CheckpointCfg.interval: must be > 0, got 0"
+        );
+        assert_eq!(e.nested("SimConfig").context, "SimConfig.CheckpointCfg");
+    }
+
+    #[test]
+    fn sim_error_chains_to_config_error() {
+        let e = SimError::from(ConfigError::new("A", "b", "c"));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("invalid A.b"));
+        assert!(SimError::invalid_input("days must be >= 1")
+            .to_string()
+            .contains("days"));
+        let f = SimError::Faulted {
+            unit: "point 3".into(),
+            message: "boom".into(),
+        };
+        assert!(f.source().is_none());
+        assert!(f.to_string().contains("point 3"));
+    }
+
+    #[test]
+    fn errors_roundtrip_through_serde() {
+        let e = SimError::Config(ConfigError::new("WorkloadConfig", "users", "must be >= 1"));
+        let back = SimError::from_value(&e.to_value()).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn helpers_accept_and_reject() {
+        assert!(ensure_finite("C", "f", 1.0).is_ok());
+        assert!(ensure_finite("C", "f", f64::NAN).is_err());
+        assert!(ensure_finite("C", "f", f64::INFINITY).is_err());
+        assert!(ensure_non_negative("C", "f", 0.0).is_ok());
+        assert!(ensure_non_negative("C", "f", -0.1).is_err());
+        assert!(ensure_positive("C", "f", 0.0).is_err());
+        assert!(ensure_fraction("C", "f", 1.0).is_ok());
+        assert!(ensure_fraction("C", "f", 1.01).is_err());
+        assert!(ensure_ordered("C", "lo", 0.2, "hi", 0.4).is_ok());
+        assert!(ensure_ordered("C", "lo", 0.2, "hi", f64::INFINITY).is_ok());
+        assert!(ensure_ordered("C", "lo", 0.5, "hi", 0.4).is_err());
+        assert!(ensure_ordered("C", "lo", f64::NAN, "hi", 0.4).is_err());
+        assert!(ensure_at_least("C", "n", 1, 1).is_ok());
+        assert!(ensure_at_least("C", "n", 0, 1).is_err());
+    }
+
+    #[test]
+    fn option_validate_is_vacuous_for_none() {
+        struct Bad;
+        impl Validate for Bad {
+            fn validate(&self) -> Result<(), ConfigError> {
+                Err(ConfigError::new("Bad", "x", "always"))
+            }
+        }
+        assert!(None::<Bad>.validate().is_ok());
+        assert!(Some(Bad).validate().is_err());
+    }
+}

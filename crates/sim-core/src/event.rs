@@ -120,11 +120,11 @@ impl<E> EventQueue<E> {
     pub fn peek_time(&mut self) -> Option<SimTime> {
         // Purge cancelled heads so the peek is accurate.
         while let Some(s) = self.heap.peek() {
-            if self.cancelled.contains(&s.seq) {
-                let s = self.heap.pop().expect("peeked entry exists");
-                self.cancelled.remove(&s.seq);
-            } else {
+            if !self.cancelled.contains(&s.seq) {
                 return Some(s.time);
+            }
+            if let Some(s) = self.heap.pop() {
+                self.cancelled.remove(&s.seq);
             }
         }
         None

@@ -7,6 +7,7 @@
 //! stack is built on:
 //!
 //! * [`time`] — simulated time and durations with calendar helpers;
+//! * [`error`] — typed config/simulation errors and the [`Validate`] trait;
 //! * [`event`] — a deterministic future-event list;
 //! * [`engine`] — a generic discrete-event simulation driver;
 //! * [`rng`] — reproducible random streams with named sub-stream derivation;
@@ -21,8 +22,11 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod engine;
+pub mod error;
 pub mod event;
 pub mod rng;
 pub mod series;
@@ -31,6 +35,7 @@ pub mod time;
 pub mod units;
 
 pub use engine::{Ctx, Engine, Process, RunOutcome};
+pub use error::{ConfigError, SimError, Validate};
 pub use event::{EventId, EventQueue};
 pub use rng::RngStream;
 pub use series::TimeSeries;

@@ -11,7 +11,8 @@
 //! (see [`crate::event`]), so two events scheduled at the "same" instant
 //! still dequeue deterministically.
 
-use serde::{Deserialize, Serialize};
+use crate::error::ConfigError;
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
@@ -27,11 +28,11 @@ pub const WEEK: f64 = 7.0 * DAY;
 pub const YEAR: f64 = 365.0 * DAY;
 
 /// A point in simulated time, measured in seconds since the simulation epoch.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize)]
 pub struct SimTime(f64);
 
 /// A span of simulated time in seconds. May not be negative.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize)]
 pub struct SimDuration(f64);
 
 impl SimTime {
@@ -46,6 +47,21 @@ impl SimTime {
     pub fn from_secs(secs: f64) -> Self {
         assert!(secs.is_finite() && secs >= 0.0, "invalid SimTime: {secs}");
         SimTime(secs)
+    }
+
+    /// Fallible constructor for untrusted input (CLI flags, imported
+    /// CSV, deserialized configs): rejects negative and non-finite
+    /// seconds with a typed error instead of panicking.
+    pub fn try_from_secs(secs: f64) -> Result<Self, ConfigError> {
+        if secs.is_finite() && secs >= 0.0 {
+            Ok(SimTime(secs))
+        } else {
+            Err(ConfigError::new(
+                "SimTime",
+                "secs",
+                format!("must be finite and >= 0, got {secs}"),
+            ))
+        }
     }
 
     /// Creates a time `h` hours after the epoch.
@@ -162,6 +178,21 @@ impl SimDuration {
         SimDuration(secs)
     }
 
+    /// Fallible constructor for untrusted input (CLI flags, imported
+    /// CSV, deserialized configs): rejects negative and non-finite
+    /// seconds with a typed error instead of panicking.
+    pub fn try_from_secs(secs: f64) -> Result<Self, ConfigError> {
+        if secs.is_finite() && secs >= 0.0 {
+            Ok(SimDuration(secs))
+        } else {
+            Err(ConfigError::new(
+                "SimDuration",
+                "secs",
+                format!("must be finite and >= 0, got {secs}"),
+            ))
+        }
+    }
+
     /// Creates a duration of `m` minutes.
     #[inline]
     pub fn from_mins(m: f64) -> Self {
@@ -256,6 +287,24 @@ impl Ord for SimDuration {
     #[inline]
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.0.total_cmp(&other.0)
+    }
+}
+
+// Deserialization is an untrusted path (configs arrive from files and
+// service requests), so it goes through `try_from_secs` rather than the
+// derive: a negative or non-finite payload is a deserialization error,
+// never a panic.
+impl Deserialize for SimTime {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let secs = f64::from_value(v)?;
+        SimTime::try_from_secs(secs).map_err(|e| DeError::new(e.to_string()))
+    }
+}
+
+impl Deserialize for SimDuration {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let secs = f64::from_value(v)?;
+        SimDuration::try_from_secs(secs).map_err(|e| DeError::new(e.to_string()))
     }
 }
 
@@ -448,6 +497,32 @@ mod tests {
         assert_eq!(format!("{t}"), "d1 02:03:04.5");
         assert_eq!(format!("{}", SimDuration::from_days(2.0)), "2.00d");
         assert_eq!(format!("{}", SimDuration::from_secs(30.0)), "30.00s");
+    }
+
+    #[test]
+    fn try_from_secs_accepts_and_rejects() {
+        assert_eq!(SimTime::try_from_secs(5.0).unwrap().as_secs(), 5.0);
+        assert_eq!(SimDuration::try_from_secs(0.0).unwrap(), SimDuration::ZERO);
+        for bad in [-1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(SimTime::try_from_secs(bad).is_err(), "SimTime {bad}");
+            assert!(
+                SimDuration::try_from_secs(bad).is_err(),
+                "SimDuration {bad}"
+            );
+        }
+        let err = SimDuration::try_from_secs(-2.5).unwrap_err();
+        assert_eq!(err.context, "SimDuration");
+        assert!(err.to_string().contains("-2.5"));
+    }
+
+    #[test]
+    fn deserialize_rejects_invalid_seconds() {
+        let ok: SimDuration = serde::Deserialize::from_value(&serde::Value::F64(3.5)).unwrap();
+        assert_eq!(ok.as_secs(), 3.5);
+        let t: SimTime = serde::Deserialize::from_value(&serde::Value::U64(7)).unwrap();
+        assert_eq!(t.as_secs(), 7.0);
+        assert!(SimDuration::from_value(&serde::Value::F64(-1.0)).is_err());
+        assert!(SimTime::from_value(&serde::Value::F64(f64::NAN)).is_err());
     }
 
     #[test]

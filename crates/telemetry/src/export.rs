@@ -10,7 +10,12 @@ use serde::Serialize;
 
 /// Serializes any value to pretty JSON.
 pub fn to_json<T: Serialize>(value: &T) -> String {
-    serde_json::to_string_pretty(value).expect("serializable value")
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => s,
+        // The Value-based serializer has no failure path for in-memory
+        // values; keep the loud failure in case a backend grows one.
+        Err(e) => panic!("serialize value to JSON: {e}"),
+    }
 }
 
 /// Escapes a CSV field (quotes fields containing separators or quotes).

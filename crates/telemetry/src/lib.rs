@@ -6,6 +6,8 @@
 //! incentives, the Carbon500 ranking (§2.2), and CSV/JSON export.
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![forbid(unsafe_code)]
 
 pub mod accounting;

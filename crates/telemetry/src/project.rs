@@ -90,13 +90,17 @@ impl ProjectLedger {
             return Err(UnknownProject(project_id));
         }
         let bill = self.scheme.bill(record, trace, detector);
-        let acc = self.accounts.get_mut(&project_id).expect("checked above");
-        acc.jobs += 1;
-        acc.consumed_node_hours += bill.node_hours;
-        acc.charged_node_hours += bill.charged_node_hours;
-        acc.green_node_hours += bill.green_node_hours;
-        acc.carbon += record.carbon(trace);
-        Ok(acc)
+        match self.accounts.get_mut(&project_id) {
+            Some(acc) => {
+                acc.jobs += 1;
+                acc.consumed_node_hours += bill.node_hours;
+                acc.charged_node_hours += bill.charged_node_hours;
+                acc.green_node_hours += bill.green_node_hours;
+                acc.carbon += record.carbon(trace);
+                Ok(acc)
+            }
+            None => Err(UnknownProject(project_id)),
+        }
     }
 
     /// The account of a project.

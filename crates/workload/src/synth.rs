@@ -12,6 +12,10 @@
 use crate::job::{Job, JobBuilder, JobClass};
 use crate::speedup::SpeedupModel;
 use serde::{Deserialize, Serialize};
+use sustain_sim_core::error::{
+    ensure_at_least, ensure_finite, ensure_fraction, ensure_non_negative, ensure_ordered,
+    ensure_positive, ConfigError, Validate,
+};
 use sustain_sim_core::rng::RngStream;
 use sustain_sim_core::time::{SimDuration, SimTime, HOUR};
 use sustain_sim_core::units::Power;
@@ -65,6 +69,52 @@ impl Default for WorkloadConfig {
             users: 50,
             node_power_range_w: (350.0, 750.0),
         }
+    }
+}
+
+impl Validate for WorkloadConfig {
+    fn validate(&self) -> Result<(), ConfigError> {
+        const CTX: &str = "WorkloadConfig";
+        ensure_positive(CTX, "arrivals_per_hour", self.arrivals_per_hour)?;
+        // Amplitude 1 would zero the off-peak rate, which is legal; > 1
+        // would make it negative.
+        ensure_fraction(CTX, "diurnal_amplitude", self.diurnal_amplitude)?;
+        ensure_finite(CTX, "runtime_log_mean", self.runtime_log_mean)?;
+        ensure_non_negative(CTX, "runtime_log_std", self.runtime_log_std)?;
+        ensure_positive(CTX, "max_runtime", self.max_runtime.as_secs())?;
+        ensure_at_least(CTX, "max_nodes", self.max_nodes as usize, 1)?;
+        ensure_fraction(CTX, "malleable_fraction", self.malleable_fraction)?;
+        ensure_fraction(CTX, "checkpointable_fraction", self.checkpointable_fraction)?;
+        ensure_fraction(CTX, "overallocating_fraction", self.overallocating_fraction)?;
+        ensure_finite(
+            CTX,
+            "overallocation_mean_factor",
+            self.overallocation_mean_factor,
+        )?;
+        if self.overallocation_mean_factor < 1.0 {
+            return Err(ConfigError::new(
+                CTX,
+                "overallocation_mean_factor",
+                format!("must be >= 1, got {}", self.overallocation_mean_factor),
+            ));
+        }
+        ensure_finite(
+            CTX,
+            "walltime_overestimate_mean",
+            self.walltime_overestimate_mean,
+        )?;
+        if self.walltime_overestimate_mean < 1.0 {
+            return Err(ConfigError::new(
+                CTX,
+                "walltime_overestimate_mean",
+                format!("must be >= 1, got {}", self.walltime_overestimate_mean),
+            ));
+        }
+        ensure_at_least(CTX, "users", self.users as usize, 1)?;
+        let (lo, hi) = self.node_power_range_w;
+        ensure_non_negative(CTX, "node_power_range_w.0", lo)?;
+        ensure_non_negative(CTX, "node_power_range_w.1", hi)?;
+        ensure_ordered(CTX, "node_power_range_w.0", lo, "node_power_range_w.1", hi)
     }
 }
 

@@ -6,6 +6,8 @@
 //! workspace members; see `DESIGN.md` for the inventory.
 
 #![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub use sustain_carbon_model as carbon_model;
 pub use sustain_grid as grid;

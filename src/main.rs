@@ -105,22 +105,29 @@ fn parse_args() -> Result<Args, String> {
     })
 }
 
-fn write_json<T: serde::Serialize>(out: &Option<PathBuf>, name: &str, value: &T) {
-    println!(
-        "{}",
-        serde_json::to_string_pretty(value).expect("serializable")
-    );
+fn write_json<T: serde::Serialize>(
+    out: &Option<PathBuf>,
+    name: &str,
+    value: &T,
+) -> Result<(), String> {
+    let json =
+        serde_json::to_string_pretty(value).map_err(|e| format!("cannot serialize {name}: {e}"))?;
+    println!("{json}");
     if let Some(dir) = out {
-        fs::create_dir_all(dir).expect("create output directory");
+        fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create output directory {}: {e}", dir.display()))?;
         let path: &Path = dir;
         let file = path.join(format!("{name}.json"));
-        fs::write(
-            &file,
-            serde_json::to_vec_pretty(value).expect("serializable"),
-        )
-        .expect("write output file");
+        fs::write(&file, json.as_bytes())
+            .map_err(|e| format!("cannot write {}: {e}", file.display()))?;
         eprintln!("wrote {}", file.display());
     }
+    Ok(())
+}
+
+/// Maps a typed simulation error to the CLI's stderr string.
+fn sim_err<T>(r: Result<T, SimError>) -> Result<T, String> {
+    r.map_err(|e| e.to_string())
 }
 
 fn run_one(name: &str, args: &Args) -> Result<(), String> {
@@ -131,29 +138,33 @@ fn run_one(name: &str, args: &Args) -> Result<(), String> {
         "fig1" => write_json(out, "fig1", &fig1_embodied_breakdown()),
         "table1" => write_json(out, "table1", &table1_lrz_lifetimes()),
         "fig2" => write_json(out, "fig2", &fig2_carbon_intensity(seed)),
-        "e4" => write_json(out, "e4", &renewable_share_sweep(21)),
+        "e4" => write_json(out, "e4", &sim_err(try_renewable_share_sweep(21))?),
         "e5" => write_json(out, "e5", &claim_reuse_vs_recycle()),
         "e6" => write_json(out, "e6", &dse_carbon_metrics()),
         "e7" => write_json(out, "e7", &budget_tradeoff()),
         "e8" => write_json(
             out,
             "e8",
-            &carbon_aware_power_scaling(Region::Finland, days, seed),
+            &sim_err(try_carbon_aware_power_scaling(Region::Finland, days, seed))?,
         ),
         "e9" => write_json(
             out,
             "e9",
-            &malleability_under_power(Region::GreatBritain, days, seed),
+            &sim_err(try_malleability_under_power(
+                Region::GreatBritain,
+                days,
+                seed,
+            ))?,
         ),
         "e10" => write_json(
             out,
             "e10",
-            &carbon_aware_scheduling(Region::Finland, days, seed),
+            &sim_err(try_carbon_aware_scheduling(Region::Finland, days, seed))?,
         ),
         "e11a" => write_json(
             out,
             "e11a",
-            &user_overallocation(Region::Germany, days.min(7), seed),
+            &sim_err(try_user_overallocation(Region::Germany, days.min(7), seed))?,
         ),
         "e11b" => write_json(out, "e11b", &green_incentives(Region::Finland, seed)),
         "e12" => write_json(out, "e12", &carbon500()),
@@ -162,40 +173,63 @@ fn run_one(name: &str, args: &Args) -> Result<(), String> {
         "a1" => write_json(
             out,
             "a1",
-            &green_threshold_sweep(Region::Finland, days.min(7), seed),
+            &sim_err(try_green_threshold_sweep(
+                Region::Finland,
+                days.min(7),
+                seed,
+            ))?,
         ),
         "a2" => write_json(
             out,
             "a2",
-            &checkpoint_overhead_sweep(Region::Finland, days.min(7), seed),
+            &sim_err(try_checkpoint_overhead_sweep(
+                Region::Finland,
+                days.min(7),
+                seed,
+            ))?,
         ),
         "a3" => write_json(
             out,
             "a3",
-            &malleable_fraction_sweep(Region::GreatBritain, days.min(7), seed),
+            &sim_err(try_malleable_fraction_sweep(
+                Region::GreatBritain,
+                days.min(7),
+                seed,
+            ))?,
         ),
         "a4" => write_json(
             out,
             "a4",
-            &forecast_scaling_ablation(Region::Finland, days.min(7), seed),
+            &sim_err(try_forecast_scaling_ablation(
+                Region::Finland,
+                days.min(7),
+                seed,
+            ))?,
         ),
         "a5" => write_json(
             out,
             "a5",
-            &backfill_flavour_sweep(Region::Germany, days.min(7), seed),
+            &sim_err(try_backfill_flavour_sweep(
+                Region::Germany,
+                days.min(7),
+                seed,
+            ))?,
         ),
-        "a6" => write_json(out, "a6", &failure_resilience_sweep(days.min(5), seed)),
+        "a6" => write_json(
+            out,
+            "a6",
+            &sim_err(try_failure_resilience_sweep(days.min(5), seed))?,
+        ),
         "site" => {
             let reports = vec![
                 lifetime_report(&Site::lrz_like()),
                 lifetime_report(&Site::german_grid_like()),
                 lifetime_report(&Site::coal_like()),
             ];
-            write_json(out, "site", &reports);
+            write_json(out, "site", &reports)
         }
-        other => return Err(format!("unknown experiment: {other}; try `list`")),
+        other => Err(format!("unknown experiment: {other}; try `list`")),
     }
-    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -229,6 +263,11 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
+            let stats = sustain_hpc::core::sweep::global_trace_cache().stats();
+            eprintln!(
+                "trace cache: {} hits, {} misses, {} evictions, {} live entries (capacity {})",
+                stats.hits, stats.misses, stats.evictions, stats.len, stats.capacity
+            );
             ExitCode::SUCCESS
         }
         cmd => match run_one(cmd, &args) {

@@ -80,6 +80,37 @@ fn bad_inputs_fail_cleanly() {
 }
 
 #[test]
+fn unwritable_out_dir_fails_cleanly() {
+    // A path *under a regular file* can never become a directory.
+    let blocker = std::env::temp_dir().join(format!("sustain-cli-blocker-{}", std::process::id()));
+    std::fs::write(&blocker, b"not a directory").unwrap();
+    let out = bin()
+        .args(["fig1", "--out"])
+        .arg(blocker.join("sub"))
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "unwritable --out must exit nonzero");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        err.contains("error:") && err.contains("output directory"),
+        "stderr was {err:?}"
+    );
+    assert!(!err.contains("panicked"), "panicked: {err}");
+    std::fs::remove_file(&blocker).ok();
+}
+
+#[test]
+fn degenerate_days_yield_typed_error() {
+    // days=1 parses fine but fails experiment validation (calibration
+    // needs two days of data) — typed error on stderr, nonzero exit.
+    let out = bin().args(["e8", "--days", "1"]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("error:") && err.contains("days"), "{err:?}");
+    assert!(!err.contains("panicked"), "panicked: {err}");
+}
+
+#[test]
 fn missing_command_prints_usage() {
     let out = bin().output().unwrap();
     assert!(!out.status.success());

@@ -35,6 +35,48 @@ fn region_grid_parallel_bytes_match_serial() {
     assert_eq!(serial, parallel, "Fig. 2 must not depend on thread count");
 }
 
+/// A6 (the FailureModel-enabled sweep: stochastic node failures inside
+/// the simulator) at one thread vs many threads, byte-identical — the
+/// failure RNG is seeded per point, never by scheduling.
+#[test]
+fn a6_failure_model_parallel_bytes_match_serial() {
+    set_threads(1);
+    let serial = serde_json::to_vec(&failure_resilience_sweep(2, 13)).unwrap();
+    set_threads(4);
+    let parallel = serde_json::to_vec(&failure_resilience_sweep(2, 13)).unwrap();
+    set_threads(0);
+    assert_eq!(serial, parallel, "A6 must not depend on thread count");
+}
+
+/// `try_sweep` fault isolation: one injected panicking point fails alone
+/// — its neighbors all succeed, and output order is preserved.
+#[test]
+fn try_sweep_injected_panic_fails_alone() {
+    let points: Vec<u32> = (0..12).collect();
+    let results = try_sweep(&points, |&p| {
+        assert!(p != 7, "injected fault in point 7");
+        p as u64 + 100
+    });
+    assert_eq!(results.len(), points.len());
+    for (i, r) in results.iter().enumerate() {
+        if i == 7 {
+            let e = r.as_ref().unwrap_err();
+            assert_eq!(e.index, 7);
+            assert!(e.message.contains("injected fault"), "{e}");
+        } else {
+            assert_eq!(*r, Ok(i as u64 + 100), "neighbor {i} must succeed");
+        }
+    }
+    // And the failure report is itself deterministic across thread counts.
+    set_threads(1);
+    let serial = try_sweep(&points, |&p| {
+        assert!(p != 7, "injected fault in point 7");
+        p as u64 + 100
+    });
+    set_threads(0);
+    assert_eq!(serial, results);
+}
+
 proptest! {
     /// Cache hits for equal (profile, days, seed) keys return the very
     /// same `Arc` (pointer-identical), and its contents equal a fresh

@@ -1,8 +1,12 @@
 //! Bench: the RJMS simulator — E8 (carbon-aware power scaling), E9
-//! (malleability), E10 (carbon-aware scheduling + checkpointing), plus
-//! raw simulator throughput.
+//! (malleability), E10 (carbon-aware scheduling + checkpointing), raw
+//! simulator throughput, and the `sim_loop` hot-path corpus behind the
+//! committed `BENCH_sim.json` (regenerate with
+//! `cargo run --release -p sustain-bench --example sim_timing`).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+use sustain_bench::simloop::{pre_pr_wall_s, scenarios, Scale};
 use sustain_grid::region::Region;
 use sustain_hpc_core::experiments::operations::{
     carbon_aware_power_scaling, carbon_aware_scheduling, malleability_under_power,
@@ -87,5 +91,38 @@ fn bench_scheduler(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_scheduler);
+/// The fixed-seed `sim_loop` corpus (see `sustain_bench::simloop`).
+/// Cheap scenarios iterate under Criterion; the heavy ones (conservative
+/// planning, the 365-day headline) run a single timed pass each so the
+/// whole group stays under a minute while still printing comparable
+/// wall times next to their pre-PR baselines.
+fn bench_sim_loop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_loop");
+    g.sample_size(10);
+    for sc in scenarios(Scale::Full) {
+        if sc.iterable {
+            g.bench_function(sc.name, |b| {
+                b.iter(|| black_box(simulate(&sc.jobs, &sc.cfg)))
+            });
+        } else {
+            let t0 = Instant::now();
+            let out = black_box(simulate(&sc.jobs, &sc.cfg));
+            let wall = t0.elapsed().as_secs_f64();
+            let base = pre_pr_wall_s(sc.name).unwrap_or(f64::NAN);
+            println!(
+                "sim_loop/{:<34} single pass {:>6.2} s (pre-PR {:>6.2} s, {:>5.1}x) \
+                 passes {} skips {}",
+                sc.name,
+                wall,
+                base,
+                base / wall,
+                out.hot_path.schedule_passes,
+                out.hot_path.schedule_skips
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scheduler, bench_sim_loop);
 criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Times each sim_loop scenario once (release). Used to record the
+//! PRE_PR_WALL_S baselines; not part of the committed bench flow.
+use std::time::Instant;
+use sustain_bench::simloop::{scenarios, Scale};
+use sustain_scheduler::sim::simulate;
+
+fn main() {
+    for sc in scenarios(Scale::Full) {
+        let t0 = Instant::now();
+        let out = simulate(&sc.jobs, &sc.cfg);
+        if std::env::var("SIM_BASELINE_FP").is_ok() {
+            let digest: u64 = out
+                .records
+                .iter()
+                .flat_map(|r| {
+                    [
+                        r.id.0,
+                        r.start.as_secs().to_bits(),
+                        r.end.as_secs().to_bits(),
+                        r.segments.len() as u64,
+                    ]
+                })
+                .fold(0xcbf29ce484222325u64, |h, v| {
+                    (h ^ v).wrapping_mul(0x100000001b3)
+                });
+            println!(
+                "{}: digest {:016x} records {} unfinished {} makespan {:x} e {:x} ie {:x} c {:x} viol {:x}",
+                sc.name,
+                digest,
+                out.records.len(),
+                out.unfinished,
+                out.makespan.as_secs().to_bits(),
+                out.job_energy.kwh().to_bits(),
+                out.idle_energy.kwh().to_bits(),
+                out.carbon.grams().to_bits(),
+                out.budget_violation_seconds.to_bits()
+            );
+        } else {
+            println!(
+                "(\"{}\", {:.2}), // records {} unfinished {}",
+                sc.name,
+                t0.elapsed().as_secs_f64(),
+                out.records.len(),
+                out.unfinished
+            );
+        }
+    }
+}
+// Fingerprint mode: SIM_BASELINE_FP=1 prints exact-bit outcome digests.

@@ -1,0 +1,62 @@
+//! Regenerates `BENCH_sim.json`: one timed release pass over every
+//! `sim_loop` scenario at full scale, with the hot-path counters the
+//! simulator now reports and the speedup against the recorded pre-PR
+//! baselines (`PRE_PR_WALL_S`). One JSON object per scenario.
+//!
+//! ```text
+//! cargo run --release -p sustain-bench --example sim_timing > BENCH_sim.json
+//! ```
+
+use serde::Serialize;
+use std::time::Instant;
+use sustain_bench::simloop::{pre_pr_wall_s, scenarios, Scale};
+use sustain_scheduler::sim::simulate;
+
+#[derive(Serialize)]
+struct Row {
+    scenario: &'static str,
+    wall_s: f64,
+    pre_pr_wall_s: f64,
+    speedup_vs_pre_pr: f64,
+    records: usize,
+    unfinished: usize,
+    events: u64,
+    schedule_passes: u64,
+    schedule_skips: u64,
+    resorts_taken: u64,
+    resorts_skipped: u64,
+    trace_bucket_hits: u64,
+    trace_bucket_misses: u64,
+    scratch_grows: u64,
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for sc in scenarios(Scale::Full) {
+        let t0 = Instant::now();
+        let out = simulate(&sc.jobs, &sc.cfg);
+        let wall_s = t0.elapsed().as_secs_f64();
+        let baseline = pre_pr_wall_s(sc.name).expect("scenario has a pre-PR baseline");
+        let hp = &out.hot_path;
+        rows.push(Row {
+            scenario: sc.name,
+            wall_s,
+            pre_pr_wall_s: baseline,
+            speedup_vs_pre_pr: baseline / wall_s,
+            records: out.records.len(),
+            unfinished: out.unfinished,
+            events: hp.events,
+            schedule_passes: hp.schedule_passes,
+            schedule_skips: hp.schedule_skips,
+            resorts_taken: hp.resorts_taken,
+            resorts_skipped: hp.resorts_skipped,
+            trace_bucket_hits: hp.trace_bucket_hits,
+            trace_bucket_misses: hp.trace_bucket_misses,
+            scratch_grows: hp.scratch_grows,
+        });
+    }
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&rows).expect("serializable")
+    );
+}

@@ -1,7 +1,8 @@
-//! Bench crate: see `benches/` for the Criterion harnesses.
+//! Bench crate: the Criterion harnesses live in `benches/`; this
+//! library defines the *scenario corpus* they run so that CI can smoke
+//! the exact same code paths untimed (see `simloop::scenarios`).
 #![forbid(unsafe_code)]
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
-/// The bench crate has no library API; the Criterion harnesses in
-/// `benches/` link against the workspace crates directly.
-pub fn _placeholder() {}
+
+pub mod simloop;

@@ -79,13 +79,11 @@ impl CarbonTrace {
     /// start; times at or past the end return `t + step` (the clamped
     /// value extends indefinitely).
     pub fn bucket_end_after(&self, t: SimTime) -> SimTime {
-        let start = self.series.start();
-        if t < start {
-            return start;
-        }
-        let step = self.series.step();
-        let idx = ((t - start) / step).floor();
-        start + step * (idx + 1.0)
+        // Delegates to the series' snapped bucket coordinate, so a `t`
+        // sitting within float rounding of a boundary advances a whole
+        // bucket instead of returning (approximately) itself — the
+        // strictly-after guarantee tick scheduling relies on.
+        self.series.next_boundary_after(t)
     }
 
     /// Affine re-calibration: shifts and scales the trace so the overall

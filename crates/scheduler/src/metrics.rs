@@ -1,6 +1,7 @@
 //! Per-job records and aggregate scheduling/carbon metrics.
 
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
 use sustain_grid::trace::CarbonTrace;
 use sustain_sim_core::stats::Summary;
 use sustain_sim_core::time::{SimDuration, SimTime};
@@ -114,8 +115,89 @@ impl JobRecord {
     }
 }
 
+/// Hot-path work counters for one simulation run: how much work the
+/// event loop did, not what it decided. The numbers are the profile
+/// baseline for perf work (`--stats` on the CLI) and are expected to
+/// change across optimizations — golden byte-identity snapshots strip
+/// this block, and it is serialized last so outcome JSONs written
+/// before the counters existed (e.g. sweep trace caches) still load.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HotPathStats {
+    /// Events dispatched by the main loop.
+    pub events: u64,
+    /// Full scheduling passes executed.
+    pub schedule_passes: u64,
+    /// Scheduling passes skipped by the quiescence fast path (nothing
+    /// changed since a pass that started nothing).
+    pub schedule_skips: u64,
+    /// Fair-share pending-queue resorts actually performed.
+    pub resorts_taken: u64,
+    /// Resorts skipped because no usage was recorded since the last one.
+    pub resorts_skipped: u64,
+    /// CI/budget point lookups served from the cached current bucket.
+    pub trace_bucket_hits: u64,
+    /// CI/budget point lookups that crossed into a new bucket.
+    pub trace_bucket_misses: u64,
+    /// Times a planning scratch buffer had to grow its allocation
+    /// (plateaus after warm-up: the steady-state schedule path performs
+    /// no heap allocation).
+    pub scratch_grows: u64,
+}
+
+impl HotPathStats {
+    /// Adds another run's counters into this one.
+    pub fn absorb(&mut self, other: &HotPathStats) {
+        self.events += other.events;
+        self.schedule_passes += other.schedule_passes;
+        self.schedule_skips += other.schedule_skips;
+        self.resorts_taken += other.resorts_taken;
+        self.resorts_skipped += other.resorts_skipped;
+        self.trace_bucket_hits += other.trace_bucket_hits;
+        self.trace_bucket_misses += other.trace_bucket_misses;
+        self.scratch_grows += other.scratch_grows;
+    }
+}
+
+/// Process-wide accumulators: every `simulate` run (including the
+/// parallel sweep workers) folds its counters in, so the CLI can print
+/// one aggregate block after a multi-scenario command.
+static TOTAL_EVENTS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_PASSES: AtomicU64 = AtomicU64::new(0);
+static TOTAL_SKIPS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_RESORTS_TAKEN: AtomicU64 = AtomicU64::new(0);
+static TOTAL_RESORTS_SKIPPED: AtomicU64 = AtomicU64::new(0);
+static TOTAL_TRACE_HITS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_TRACE_MISSES: AtomicU64 = AtomicU64::new(0);
+static TOTAL_SCRATCH_GROWS: AtomicU64 = AtomicU64::new(0);
+
+pub(crate) fn record_hot_path_totals(s: &HotPathStats) {
+    TOTAL_EVENTS.fetch_add(s.events, Ordering::Relaxed);
+    TOTAL_PASSES.fetch_add(s.schedule_passes, Ordering::Relaxed);
+    TOTAL_SKIPS.fetch_add(s.schedule_skips, Ordering::Relaxed);
+    TOTAL_RESORTS_TAKEN.fetch_add(s.resorts_taken, Ordering::Relaxed);
+    TOTAL_RESORTS_SKIPPED.fetch_add(s.resorts_skipped, Ordering::Relaxed);
+    TOTAL_TRACE_HITS.fetch_add(s.trace_bucket_hits, Ordering::Relaxed);
+    TOTAL_TRACE_MISSES.fetch_add(s.trace_bucket_misses, Ordering::Relaxed);
+    TOTAL_SCRATCH_GROWS.fetch_add(s.scratch_grows, Ordering::Relaxed);
+}
+
+/// Snapshot of the process-wide hot-path counters aggregated over every
+/// simulation run so far (all threads).
+pub fn hot_path_totals() -> HotPathStats {
+    HotPathStats {
+        events: TOTAL_EVENTS.load(Ordering::Relaxed),
+        schedule_passes: TOTAL_PASSES.load(Ordering::Relaxed),
+        schedule_skips: TOTAL_SKIPS.load(Ordering::Relaxed),
+        resorts_taken: TOTAL_RESORTS_TAKEN.load(Ordering::Relaxed),
+        resorts_skipped: TOTAL_RESORTS_SKIPPED.load(Ordering::Relaxed),
+        trace_bucket_hits: TOTAL_TRACE_HITS.load(Ordering::Relaxed),
+        trace_bucket_misses: TOTAL_TRACE_MISSES.load(Ordering::Relaxed),
+        scratch_grows: TOTAL_SCRATCH_GROWS.load(Ordering::Relaxed),
+    }
+}
+
 /// Aggregate outcome of a simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize)]
 pub struct SimOutcome {
     /// Per-job records (completed jobs only).
     pub records: Vec<JobRecord>,
@@ -139,6 +221,37 @@ pub struct SimOutcome {
     pub effective_job_ci: f64,
     /// Seconds during which running power exceeded the power budget.
     pub budget_violation_seconds: f64,
+    /// Event-loop work counters (volatile across perf changes; excluded
+    /// from golden snapshots). Declared last so it serializes after the
+    /// result fields.
+    pub hot_path: HotPathStats,
+}
+
+impl Deserialize for SimOutcome {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(SimOutcome {
+            records: Vec::<JobRecord>::from_value(serde::get_field(v, "records")?)?,
+            unfinished: usize::from_value(serde::get_field(v, "unfinished")?)?,
+            makespan: SimTime::from_value(serde::get_field(v, "makespan")?)?,
+            wait: Summary::from_value(serde::get_field(v, "wait")?)?,
+            slowdown: Summary::from_value(serde::get_field(v, "slowdown")?)?,
+            utilization: f64::from_value(serde::get_field(v, "utilization")?)?,
+            job_energy: Energy::from_value(serde::get_field(v, "job_energy")?)?,
+            idle_energy: Energy::from_value(serde::get_field(v, "idle_energy")?)?,
+            carbon: Carbon::from_value(serde::get_field(v, "carbon")?)?,
+            effective_job_ci: f64::from_value(serde::get_field(v, "effective_job_ci")?)?,
+            budget_violation_seconds: f64::from_value(serde::get_field(
+                v,
+                "budget_violation_seconds",
+            )?)?,
+            // Absent in outcomes serialized before the counter block
+            // existed (sweep trace caches): default instead of erroring.
+            hot_path: match v.get("hot_path") {
+                Some(hp) => HotPathStats::from_value(hp)?,
+                None => HotPathStats::default(),
+            },
+        })
+    }
 }
 
 impl SimOutcome {
@@ -182,6 +295,7 @@ impl SimOutcome {
             },
             budget_violation_seconds,
             records,
+            hot_path: HotPathStats::default(),
         }
     }
 }

@@ -8,18 +8,91 @@
 
 use crate::stats::{RunningStats, Summary};
 use crate::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::sync::OnceLock;
 
 /// A regularly sampled series: `values[i]` is the value over
 /// `[start + i*step, start + (i+1)*step)` (step-function convention).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Carries a lazily built cumulative-sum index (`cum`) so wide-window
+/// integrals are O(1) instead of O(buckets); the index is invisible to
+/// `Clone`/`PartialEq`/serde (all implemented manually below) and is
+/// dropped on mutation.
 pub struct TimeSeries {
     start: SimTime,
     step: SimDuration,
     values: Vec<f64>,
+    /// `cum[i]` = Σ `values[..i]` (plain value units; multiplied by the
+    /// step width at use). Built on first wide integral, then shared.
+    cum: OnceLock<Box<[f64]>>,
+}
+
+impl std::fmt::Debug for TimeSeries {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimeSeries")
+            .field("start", &self.start)
+            .field("step", &self.step)
+            .field("values", &self.values)
+            .finish()
+    }
+}
+
+impl Clone for TimeSeries {
+    fn clone(&self) -> Self {
+        TimeSeries {
+            start: self.start,
+            step: self.step,
+            values: self.values.clone(),
+            cum: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for TimeSeries {
+    fn eq(&self, other: &Self) -> bool {
+        self.start == other.start && self.step == other.step && self.values == other.values
+    }
+}
+
+impl Serialize for TimeSeries {
+    fn to_value(&self) -> Value {
+        // Mirrors the derive output for the three data-bearing fields;
+        // the prefix index is a cache, not state.
+        Value::Object(vec![
+            ("start".to_string(), self.start.to_value()),
+            ("step".to_string(), self.step.to_value()),
+            ("values".to_string(), self.values.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for TimeSeries {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(TimeSeries {
+            start: SimTime::from_value(serde::get_field(v, "start")?)?,
+            step: SimDuration::from_value(serde::get_field(v, "step")?)?,
+            values: Vec::<f64>::from_value(serde::get_field(v, "values")?)?,
+            cum: OnceLock::new(),
+        })
+    }
 }
 
 impl TimeSeries {
+    /// Boundary tolerance for the float bucket index, relative to the
+    /// bucket coordinate: coordinates within a few ulps of an integer
+    /// snap to it, so `at(time_of(i))` lands in bucket `i` even when
+    /// `start + step*i` rounds below the mathematical boundary.
+    const BOUNDARY_EPS: f64 = 4.0 * f64::EPSILON;
+
+    /// Windows spanning at most this many buckets integrate through the
+    /// legacy per-bucket scan. The scan is the numerical reference: its
+    /// summation order is bit-stable across releases, and every
+    /// outcome-affecting window in the simulator (inter-event
+    /// accounting gaps, job segments capped by queue walltime limits,
+    /// daily resampling) fits under this span. Wider windows — whole
+    /// trace horizons, report-level integrals — use the O(1) prefix
+    /// index, which regroups the same sum.
+    const SCAN_MAX_SPAN_BUCKETS: f64 = 64.0;
     /// Creates a series from raw samples.
     ///
     /// # Panics
@@ -30,6 +103,7 @@ impl TimeSeries {
             start,
             step,
             values,
+            cum: OnceLock::new(),
         }
     }
 
@@ -79,9 +153,37 @@ impl TimeSeries {
         &self.values
     }
 
-    /// Mutable raw sample access.
+    /// Mutable raw sample access. Drops the cumulative index: it is
+    /// rebuilt from the (possibly modified) samples on next use.
     pub fn values_mut(&mut self) -> &mut [f64] {
+        self.cum = OnceLock::new();
         &mut self.values
+    }
+
+    /// Float bucket coordinate of `t`, with boundary snapping: a
+    /// coordinate within [`Self::BOUNDARY_EPS`] ulps-scaled distance of
+    /// an integer is treated as exactly that integer, so times that
+    /// round-trip through `time_of` land in the right bucket even when
+    /// `start + step*i` rounds a hair below the mathematical boundary.
+    ///
+    /// Callers must ensure `t >= self.start` (the subtraction would
+    /// otherwise produce a negative duration).
+    fn bucket_coord(&self, t: SimTime) -> f64 {
+        let q = (t - self.start) / self.step;
+        let r = q.round();
+        // The error in q is dominated by how coarsely `t` itself is
+        // represented relative to the step (ulp(t)/step), not just by
+        // the magnitude of q: with a large start and a sub-second step,
+        // `start + step*i` can land several coordinate-ulps off the
+        // mathematical boundary.
+        let scale = (t.as_secs().abs() / self.step.as_secs())
+            .max(r.abs())
+            .max(1.0);
+        if (q - r).abs() <= Self::BOUNDARY_EPS * scale {
+            r
+        } else {
+            q
+        }
     }
 
     /// Step-function evaluation at `t`. Times before the start clamp to the
@@ -94,7 +196,7 @@ impl TimeSeries {
         if t <= self.start {
             return self.values[0];
         }
-        let idx = ((t - self.start) / self.step) as usize;
+        let idx = self.bucket_coord(t) as usize;
         self.values[idx.min(self.values.len() - 1)]
     }
 
@@ -103,7 +205,10 @@ impl TimeSeries {
         if t < self.start || t >= self.end() {
             return None;
         }
-        Some(((t - self.start) / self.step) as usize)
+        // Snapping can push a coordinate epsilon-below `len` up to `len`
+        // even though `t < end()`; clamp back into range.
+        let idx = self.bucket_coord(t) as usize;
+        Some(idx.min(self.values.len() - 1))
     }
 
     /// Timestamp of the start of interval `i`.
@@ -123,10 +228,32 @@ impl TimeSeries {
     ///
     /// Out-of-range portions use the clamped boundary values (consistent
     /// with [`TimeSeries::at`]). `from > to` yields 0.
+    ///
+    /// Narrow windows (≤ [`Self::SCAN_MAX_SPAN_BUCKETS`] buckets) use
+    /// the per-bucket scan; wider windows go through the lazily built
+    /// cumulative index and cost O(1) regardless of span. Both paths
+    /// compute the same mathematical sum; the wide path may differ from
+    /// the scan by float regrouping only (bounded by the
+    /// `prefix_integral_matches_scan` property test below).
     pub fn integrate(&self, from: SimTime, to: SimTime) -> f64 {
         if self.values.is_empty() || to <= from {
             return 0.0;
         }
+        let span_buckets = (to - from).as_secs() / self.step.as_secs();
+        if span_buckets <= Self::SCAN_MAX_SPAN_BUCKETS {
+            self.integrate_scan(from, to)
+        } else {
+            self.integrate_prefix(from, to)
+        }
+    }
+
+    /// The per-bucket reference integral: walks every bucket the window
+    /// touches in time order. This is the numerical oracle the prefix
+    /// path is validated against, and remains the production path for
+    /// narrow windows so per-event accounting sums stay bit-stable.
+    ///
+    /// Callers guarantee a non-empty series and `from < to`.
+    fn integrate_scan(&self, from: SimTime, to: SimTime) -> f64 {
         let mut total = 0.0;
         let mut t = from;
         while t < to {
@@ -134,7 +261,7 @@ impl TimeSeries {
             let seg_end = if t < self.start {
                 self.start
             } else {
-                let idx = ((t - self.start) / self.step) as usize;
+                let idx = self.bucket_coord(t) as usize;
                 if idx >= self.values.len() {
                     to
                 } else {
@@ -150,6 +277,85 @@ impl TimeSeries {
             t = seg_end;
         }
         total
+    }
+
+    /// O(1) integral via the cumulative index, for wide windows:
+    /// clamped flat extensions on either side, partial first/last
+    /// buckets, and a single prefix-sum difference for the whole
+    /// interior.
+    ///
+    /// Callers guarantee a non-empty series and `from < to`.
+    fn integrate_prefix(&self, from: SimTime, to: SimTime) -> f64 {
+        let n = self.values.len();
+        let end = self.end();
+        let mut total = 0.0;
+
+        // Flat extension before the first sample.
+        if from < self.start {
+            let w = to.min(self.start).saturating_since(from).as_secs();
+            total += self.values[0] * w;
+        }
+        // Flat extension past the last sample.
+        if to > end {
+            let w = to.saturating_since(from.max(end)).as_secs();
+            total += self.values[n - 1] * w;
+        }
+
+        let a = from.max(self.start);
+        let b = to.min(end);
+        if b <= a {
+            return total;
+        }
+
+        // `a < end` here, so its (snapped) coordinate is below `n` up to
+        // rounding; clamp for safety. `b` may sit exactly on `end`, in
+        // which case `ib == n` and the last partial bucket is empty.
+        let ia = (self.bucket_coord(a) as usize).min(n - 1);
+        let ib = (self.bucket_coord(b) as usize).min(n);
+        if ib <= ia {
+            // Whole interior inside one bucket.
+            return total + self.values[ia] * (b - a).as_secs();
+        }
+
+        // Partial first bucket: [a, time_of(ia + 1)).
+        total += self.values[ia] * self.time_of(ia + 1).saturating_since(a).as_secs();
+        // Whole buckets ia+1 .. ib via the cumulative index.
+        let cum = self.prefix();
+        total += (cum[ib] - cum[ia + 1]) * self.step.as_secs();
+        // Partial last bucket: [time_of(ib), b).
+        if ib < n {
+            total += self.values[ib] * b.saturating_since(self.time_of(ib)).as_secs();
+        }
+        total
+    }
+
+    /// Cumulative sample sums: `prefix()[i]` = Σ `values[..i]`, with
+    /// `len() + 1` entries. Built once on first use, dropped by
+    /// [`TimeSeries::values_mut`].
+    fn prefix(&self) -> &[f64] {
+        self.cum.get_or_init(|| {
+            let mut c = Vec::with_capacity(self.values.len() + 1);
+            let mut acc = 0.0;
+            c.push(0.0);
+            for &v in &self.values {
+                acc += v;
+                c.push(acc);
+            }
+            c.into_boxed_slice()
+        })
+    }
+
+    /// First bucket boundary strictly after `t`, on this series' grid.
+    /// Times before the start return the start; times past the end keep
+    /// stepping on the same (extrapolated) grid. Uses the snapped bucket
+    /// coordinate, so `t` exactly on (or within rounding of) a boundary
+    /// advances a full bucket instead of returning `t` itself.
+    pub fn next_boundary_after(&self, t: SimTime) -> SimTime {
+        if t < self.start {
+            return self.start;
+        }
+        let idx = self.bucket_coord(t).floor();
+        self.start + self.step * (idx + 1.0)
     }
 
     /// Mean value over `[from, to]` (time-weighted).
@@ -423,5 +629,155 @@ mod tests {
         let ts = hourly(vec![1.0, 2.0, 3.0, 4.0]);
         assert!((ts.stats().mean() - 2.5).abs() < 1e-12);
         assert_eq!(ts.summary().count, 4);
+    }
+
+    #[test]
+    fn next_boundary_after_is_strictly_after() {
+        let ts = hourly(vec![1.0, 2.0, 3.0]);
+        assert_eq!(
+            ts.next_boundary_after(SimTime::ZERO),
+            SimTime::from_hours(1.0)
+        );
+        assert_eq!(
+            ts.next_boundary_after(SimTime::from_hours(0.5)),
+            SimTime::from_hours(1.0)
+        );
+        // Exactly on a boundary: advance a whole bucket, never return t.
+        assert_eq!(
+            ts.next_boundary_after(SimTime::from_hours(1.0)),
+            SimTime::from_hours(2.0)
+        );
+        // Past the end: keep stepping on the extrapolated grid.
+        assert_eq!(
+            ts.next_boundary_after(SimTime::from_hours(5.5)),
+            SimTime::from_hours(6.0)
+        );
+        // Before the start: the start is the next boundary.
+        let shifted = TimeSeries::new(
+            SimTime::from_hours(4.0),
+            SimDuration::from_hours(1.0),
+            vec![1.0],
+        );
+        assert_eq!(
+            shifted.next_boundary_after(SimTime::ZERO),
+            SimTime::from_hours(4.0)
+        );
+    }
+
+    #[test]
+    fn wide_integrate_matches_scan_and_survives_mutation() {
+        // 100 buckets with a 1-second step: a whole-range window spans
+        // the prefix path; spot-check against the scan oracle.
+        let vals: Vec<f64> = (0..100).map(|i| (i as f64) * 0.5 + 1.0).collect();
+        let ts = TimeSeries::new(SimTime::ZERO, SimDuration::from_secs(1.0), vals);
+        let from = SimTime::ZERO;
+        let to = SimTime::from_secs(100.0);
+        let wide = ts.integrate(from, to);
+        let oracle = ts.integrate_scan(from, to);
+        assert!((wide - oracle).abs() <= 1e-9 * oracle.abs().max(1.0));
+
+        // Mutation must invalidate the cached cumulative index.
+        let mut ts = ts;
+        for v in ts.values_mut() {
+            *v *= 2.0;
+        }
+        let wide2 = ts.integrate(from, to);
+        assert!((wide2 - 2.0 * oracle).abs() <= 1e-9 * oracle.abs().max(1.0));
+    }
+
+    #[test]
+    fn clone_and_serde_roundtrip_ignore_prefix_cache() {
+        let ts = TimeSeries::new(
+            SimTime::from_hours(1.0),
+            SimDuration::from_secs(1.0),
+            (0..200).map(|i| i as f64).collect(),
+        );
+        // Force the cache to exist, then prove it does not leak into
+        // equality, clones, or the serialized form.
+        let _ = ts.integrate(SimTime::ZERO, SimTime::from_hours(10.0));
+        let clone = ts.clone();
+        assert_eq!(ts, clone);
+        let v = ts.to_value();
+        let back = TimeSeries::from_value(&v).unwrap();
+        assert_eq!(ts, back);
+        let json = serde_json::to_string(&v).unwrap();
+        assert!(!json.contains("cum"), "cache leaked into serde: {json}");
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Satellite (a): the bucket index round-trips through
+        /// `time_of` for every index, under adversarial (non-dyadic)
+        /// steps and starts where `start + step*i` rounds off the
+        /// mathematical boundary.
+        #[test]
+        fn at_time_of_roundtrips(
+            values in prop::collection::vec(-1e3f64..1e3, 1..200),
+            step_sel in 0u32..5,
+            step_raw in 1e-3f64..1e4,
+            start in 0.0f64..1e7,
+        ) {
+            // Mix fixed adversarial steps (non-dyadic, sub-second) with
+            // random ones.
+            let step = match step_sel {
+                0 => 3600.0,
+                1 => 0.1,
+                2 => 1.0 / 3.0,
+                3 => 7.7e-3,
+                _ => step_raw,
+            };
+            let ts = TimeSeries::new(
+                SimTime::from_secs(start),
+                SimDuration::from_secs(step),
+                values.clone(),
+            );
+            for (i, v) in values.iter().enumerate() {
+                let t = ts.time_of(i);
+                prop_assert_eq!(ts.at(t).to_bits(), v.to_bits());
+                prop_assert_eq!(ts.index_of(t), Some(i));
+                prop_assert!(ts.next_boundary_after(t) > t);
+            }
+        }
+
+        /// Satellite (c): the O(1) prefix integral agrees with the
+        /// per-bucket scan oracle to 1e-9 relative error over random
+        /// series and windows, including windows clamped outside the
+        /// covered range on either side; inverted windows are zero.
+        #[test]
+        fn prefix_integral_matches_scan(
+            values in prop::collection::vec(0.0f64..1000.0, 2..300),
+            step in 1.0f64..7200.0,
+            a in -4.0f64..420.0,
+            b in -4.0f64..420.0,
+        ) {
+            let start = SimTime::from_secs(5.0 * step);
+            let ts = TimeSeries::new(start, SimDuration::from_secs(step), values);
+            // a/b are bucket coordinates relative to start (may fall
+            // before the start or past the end); keep absolute times
+            // non-negative via the 5-bucket start offset.
+            let ta = SimTime::from_secs(5.0 * step + a * step);
+            let tb = SimTime::from_secs(5.0 * step + b * step);
+            if tb <= ta {
+                prop_assert_eq!(ts.integrate(ta, tb), 0.0);
+            } else {
+                let fast = ts.integrate_prefix(ta, tb);
+                let oracle = ts.integrate_scan(ta, tb);
+                let tol = 1e-9 * oracle.abs().max(1.0);
+                prop_assert!(
+                    (fast - oracle).abs() <= tol,
+                    "prefix {} vs scan {} (step {}, window {:?}..{:?})",
+                    fast, oracle, step, ta, tb
+                );
+                // And the public entry point matches whichever path it
+                // dispatched to, within the same tolerance.
+                let public = ts.integrate(ta, tb);
+                prop_assert!((public - oracle).abs() <= tol);
+            }
+        }
     }
 }

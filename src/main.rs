@@ -4,7 +4,7 @@
 //! (and, where a tabular form exists, CSV) into an output directory.
 //!
 //! ```text
-//! sustain-hpc <experiment> [--out DIR] [--seed N] [--days N] [--threads N]
+//! sustain-hpc <experiment> [--out DIR] [--seed N] [--days N] [--threads N] [--stats]
 //! sustain-hpc all --out results/
 //! sustain-hpc list
 //! ```
@@ -63,6 +63,7 @@ struct Args {
     seed: u64,
     days: usize,
     threads: Option<usize>,
+    stats: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -72,6 +73,7 @@ fn parse_args() -> Result<Args, String> {
     let mut seed = 2023u64;
     let mut days = 14usize;
     let mut threads = None;
+    let mut stats = false;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--out" => {
@@ -93,6 +95,7 @@ fn parse_args() -> Result<Args, String> {
                 let v = args.next().ok_or("--threads needs a value")?;
                 threads = Some(v.parse().map_err(|_| format!("bad threads: {v}"))?);
             }
+            "--stats" => stats = true,
             other => return Err(format!("unknown flag: {other}")),
         }
     }
@@ -102,6 +105,7 @@ fn parse_args() -> Result<Args, String> {
         seed,
         days,
         threads,
+        stats,
     })
 }
 
@@ -128,6 +132,30 @@ fn write_json<T: serde::Serialize>(
 /// Maps a typed simulation error to the CLI's stderr string.
 fn sim_err<T>(r: Result<T, SimError>) -> Result<T, String> {
     r.map_err(|e| e.to_string())
+}
+
+/// `--stats`: prints the process-wide simulator hot-path counters
+/// accumulated across every simulation this invocation ran (stderr, so
+/// JSON output stays pipeable).
+fn print_hot_path_stats() {
+    let s = sustain_hpc::scheduler::metrics::hot_path_totals();
+    let skip_pct = if s.schedule_passes + s.schedule_skips > 0 {
+        100.0 * s.schedule_skips as f64 / (s.schedule_passes + s.schedule_skips) as f64
+    } else {
+        0.0
+    };
+    eprintln!(
+        "sim hot path: {} events | {} schedule passes, {} skipped ({skip_pct:.1} %) | \
+         {} resorts taken, {} skipped | trace cache {} hits / {} misses | {} scratch grows",
+        s.events,
+        s.schedule_passes,
+        s.schedule_skips,
+        s.resorts_taken,
+        s.resorts_skipped,
+        s.trace_bucket_hits,
+        s.trace_bucket_misses,
+        s.scratch_grows
+    );
 }
 
 fn run_one(name: &str, args: &Args) -> Result<(), String> {
@@ -238,7 +266,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: sustain-hpc <experiment|all|list> [--out DIR] [--seed N] [--days N] [--threads N]"
+                "usage: sustain-hpc <experiment|all|list> [--out DIR] [--seed N] [--days N] [--threads N] [--stats]"
             );
             return ExitCode::FAILURE;
         }
@@ -268,10 +296,18 @@ fn main() -> ExitCode {
                 "trace cache: {} hits, {} misses, {} evictions, {} live entries (capacity {})",
                 stats.hits, stats.misses, stats.evictions, stats.len, stats.capacity
             );
+            if args.stats {
+                print_hot_path_stats();
+            }
             ExitCode::SUCCESS
         }
         cmd => match run_one(cmd, &args) {
-            Ok(()) => ExitCode::SUCCESS,
+            Ok(()) => {
+                if args.stats {
+                    print_hot_path_stats();
+                }
+                ExitCode::SUCCESS
+            }
             Err(e) => {
                 eprintln!("error: {e}");
                 ExitCode::FAILURE

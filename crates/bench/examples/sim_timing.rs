@@ -1,21 +1,30 @@
-//! Regenerates `BENCH_sim.json`: one timed release pass over every
-//! `sim_loop` scenario at full scale, with the hot-path counters the
-//! simulator now reports and the speedup against the recorded pre-PR
-//! baselines (`PRE_PR_WALL_S`). One JSON object per scenario.
+//! Regenerates `BENCH_sim.json`: every `sim_loop` scenario at full
+//! scale, timed at 1 and 2 worker threads with warm-up plus
+//! median-of-samples wall times, alongside the hot-path counters the
+//! simulator reports and the speedup against the recorded pre-PR
+//! baselines (`PRE_PR_WALL_S`). One JSON object per (scenario, threads)
+//! pair.
 //!
 //! ```text
 //! cargo run --release -p sustain-bench --example sim_timing > BENCH_sim.json
 //! ```
+//!
+//! Outcomes are byte-identical at every thread count (goldens +
+//! proptests lock this); only `wall_s` and the `spec_*` counters may
+//! differ between the two rows of one scenario.
 
 use serde::Serialize;
 use std::time::Instant;
 use sustain_bench::simloop::{pre_pr_wall_s, scenarios, Scale};
+use sustain_scheduler::metrics::SimOutcome;
 use sustain_scheduler::sim::simulate;
 
 #[derive(Serialize)]
 struct Row {
     scenario: &'static str,
+    threads: usize,
     wall_s: f64,
+    samples: usize,
     pre_pr_wall_s: f64,
     speedup_vs_pre_pr: f64,
     records: usize,
@@ -28,32 +37,62 @@ struct Row {
     trace_bucket_hits: u64,
     trace_bucket_misses: u64,
     scratch_grows: u64,
+    spec_planned: u64,
+    spec_hits: u64,
+    spec_invalidations: u64,
+}
+
+/// Warm-up pass, then repeated samples (median reported): until 2 s of
+/// data with at least 3 samples, capped at 25. Heavy scenarios land at
+/// the 3-sample floor, the sub-10 ms ones at the 25-sample cap.
+fn time_scenario(
+    jobs: &[sustain_workload::job::Job],
+    cfg: &sustain_scheduler::sim::SimConfig,
+) -> (f64, usize, SimOutcome) {
+    let warm = simulate(jobs, cfg);
+    let mut samples = Vec::new();
+    let budget = Instant::now();
+    while samples.len() < 25 && (samples.len() < 3 || budget.elapsed().as_secs_f64() < 2.0) {
+        let t0 = Instant::now();
+        let out = simulate(jobs, cfg);
+        samples.push(t0.elapsed().as_secs_f64());
+        std::hint::black_box(out);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    (samples[samples.len() / 2], samples.len(), warm)
 }
 
 fn main() {
+    let corpus = scenarios(Scale::Full);
     let mut rows = Vec::new();
-    for sc in scenarios(Scale::Full) {
-        let t0 = Instant::now();
-        let out = simulate(&sc.jobs, &sc.cfg);
-        let wall_s = t0.elapsed().as_secs_f64();
-        let baseline = pre_pr_wall_s(sc.name).expect("scenario has a pre-PR baseline");
-        let hp = &out.hot_path;
-        rows.push(Row {
-            scenario: sc.name,
-            wall_s,
-            pre_pr_wall_s: baseline,
-            speedup_vs_pre_pr: baseline / wall_s,
-            records: out.records.len(),
-            unfinished: out.unfinished,
-            events: hp.events,
-            schedule_passes: hp.schedule_passes,
-            schedule_skips: hp.schedule_skips,
-            resorts_taken: hp.resorts_taken,
-            resorts_skipped: hp.resorts_skipped,
-            trace_bucket_hits: hp.trace_bucket_hits,
-            trace_bucket_misses: hp.trace_bucket_misses,
-            scratch_grows: hp.scratch_grows,
-        });
+    for threads in [1usize, 2] {
+        sustain_hpc_core::sweep::set_threads(threads);
+        for sc in &corpus {
+            let (wall_s, samples, out) = time_scenario(&sc.jobs, &sc.cfg);
+            let baseline = pre_pr_wall_s(sc.name).expect("scenario has a pre-PR baseline");
+            let hp = &out.hot_path;
+            rows.push(Row {
+                scenario: sc.name,
+                threads,
+                wall_s,
+                samples,
+                pre_pr_wall_s: baseline,
+                speedup_vs_pre_pr: baseline / wall_s,
+                records: out.records.len(),
+                unfinished: out.unfinished,
+                events: hp.events,
+                schedule_passes: hp.schedule_passes,
+                schedule_skips: hp.schedule_skips,
+                resorts_taken: hp.resorts_taken,
+                resorts_skipped: hp.resorts_skipped,
+                trace_bucket_hits: hp.trace_bucket_hits,
+                trace_bucket_misses: hp.trace_bucket_misses,
+                scratch_grows: hp.scratch_grows,
+                spec_planned: hp.spec_planned,
+                spec_hits: hp.spec_hits,
+                spec_invalidations: hp.spec_invalidations,
+            });
+        }
     }
     println!(
         "{}",

@@ -23,6 +23,16 @@
 //! The worker thread count is controlled by [`set_threads`] (the CLI's
 //! `--threads` flag) or the [`THREADS_ENV`] environment variable; `0`
 //! or unset means "use all available hardware parallelism".
+//!
+//! That count is a single **process-wide worker budget**, not a
+//! per-call-site pool size: every parallel pipeline (the sweep fan-out
+//! here, the speculative planning pass inside `scheduler::sim`) leases
+//! spare workers from the same budget and runs inline when none are
+//! left. A sweep of N scenarios that each trigger in-scenario
+//! parallelism therefore never runs more than the budgeted number of
+//! worker threads — nesting degrades to serial execution instead of
+//! oversubscribing the host (asserted in the vendored `rayon` shim's
+//! `nested_pipelines_share_the_budget_and_stay_ordered` test).
 
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};

@@ -121,7 +121,7 @@ impl JobRecord {
 /// change across optimizations — golden byte-identity snapshots strip
 /// this block, and it is serialized last so outcome JSONs written
 /// before the counters existed (e.g. sweep trace caches) still load.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct HotPathStats {
     /// Events dispatched by the main loop.
     pub events: u64,
@@ -142,6 +142,15 @@ pub struct HotPathStats {
     /// (plateaus after warm-up: the steady-state schedule path performs
     /// no heap allocation).
     pub scratch_grows: u64,
+    /// Speculative earliest-slot computations fanned out against a pass
+    /// snapshot (one per candidate job per speculative planning round).
+    pub spec_planned: u64,
+    /// Speculative slots that re-verified feasible at commit time and
+    /// were used as-is (provably equal to the serial planner's answer).
+    pub spec_hits: u64,
+    /// Speculative slots invalidated by an earlier commit in the same
+    /// round and recomputed serially against the live profile.
+    pub spec_invalidations: u64,
 }
 
 impl HotPathStats {
@@ -155,6 +164,36 @@ impl HotPathStats {
         self.trace_bucket_hits += other.trace_bucket_hits;
         self.trace_bucket_misses += other.trace_bucket_misses;
         self.scratch_grows += other.scratch_grows;
+        self.spec_planned += other.spec_planned;
+        self.spec_hits += other.spec_hits;
+        self.spec_invalidations += other.spec_invalidations;
+    }
+}
+
+// Counters are append-only across PRs: a manual impl (instead of the
+// derive, which errors on missing fields) defaults absent counters to 0
+// so outcome JSONs serialized before a counter existed still load.
+impl Deserialize for HotPathStats {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let field = |name: &str| -> Result<u64, DeError> {
+            match v.get(name) {
+                Some(x) => u64::from_value(x),
+                None => Ok(0),
+            }
+        };
+        Ok(HotPathStats {
+            events: field("events")?,
+            schedule_passes: field("schedule_passes")?,
+            schedule_skips: field("schedule_skips")?,
+            resorts_taken: field("resorts_taken")?,
+            resorts_skipped: field("resorts_skipped")?,
+            trace_bucket_hits: field("trace_bucket_hits")?,
+            trace_bucket_misses: field("trace_bucket_misses")?,
+            scratch_grows: field("scratch_grows")?,
+            spec_planned: field("spec_planned")?,
+            spec_hits: field("spec_hits")?,
+            spec_invalidations: field("spec_invalidations")?,
+        })
     }
 }
 
@@ -169,6 +208,9 @@ static TOTAL_RESORTS_SKIPPED: AtomicU64 = AtomicU64::new(0);
 static TOTAL_TRACE_HITS: AtomicU64 = AtomicU64::new(0);
 static TOTAL_TRACE_MISSES: AtomicU64 = AtomicU64::new(0);
 static TOTAL_SCRATCH_GROWS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_SPEC_PLANNED: AtomicU64 = AtomicU64::new(0);
+static TOTAL_SPEC_HITS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_SPEC_INVALIDATIONS: AtomicU64 = AtomicU64::new(0);
 
 pub(crate) fn record_hot_path_totals(s: &HotPathStats) {
     TOTAL_EVENTS.fetch_add(s.events, Ordering::Relaxed);
@@ -179,6 +221,9 @@ pub(crate) fn record_hot_path_totals(s: &HotPathStats) {
     TOTAL_TRACE_HITS.fetch_add(s.trace_bucket_hits, Ordering::Relaxed);
     TOTAL_TRACE_MISSES.fetch_add(s.trace_bucket_misses, Ordering::Relaxed);
     TOTAL_SCRATCH_GROWS.fetch_add(s.scratch_grows, Ordering::Relaxed);
+    TOTAL_SPEC_PLANNED.fetch_add(s.spec_planned, Ordering::Relaxed);
+    TOTAL_SPEC_HITS.fetch_add(s.spec_hits, Ordering::Relaxed);
+    TOTAL_SPEC_INVALIDATIONS.fetch_add(s.spec_invalidations, Ordering::Relaxed);
 }
 
 /// Snapshot of the process-wide hot-path counters aggregated over every
@@ -193,6 +238,9 @@ pub fn hot_path_totals() -> HotPathStats {
         trace_bucket_hits: TOTAL_TRACE_HITS.load(Ordering::Relaxed),
         trace_bucket_misses: TOTAL_TRACE_MISSES.load(Ordering::Relaxed),
         scratch_grows: TOTAL_SCRATCH_GROWS.load(Ordering::Relaxed),
+        spec_planned: TOTAL_SPEC_PLANNED.load(Ordering::Relaxed),
+        spec_hits: TOTAL_SPEC_HITS.load(Ordering::Relaxed),
+        spec_invalidations: TOTAL_SPEC_INVALIDATIONS.load(Ordering::Relaxed),
     }
 }
 
@@ -519,6 +567,38 @@ mod tests {
         let v = profile.values();
         assert!((v[1] - 0.5).abs() < 1e-9); // 4 of 8 nodes
         assert!((v[2] - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hot_path_stats_tolerate_missing_counters() {
+        // A counter block serialized before the speculative-planning
+        // counters existed must still load, with absent fields at 0.
+        let old = r#"{
+            "events": 10, "schedule_passes": 3, "schedule_skips": 1,
+            "resorts_taken": 2, "resorts_skipped": 4,
+            "trace_bucket_hits": 5, "trace_bucket_misses": 6,
+            "scratch_grows": 7
+        }"#;
+        let v = serde_json::from_str(old).unwrap();
+        let s = HotPathStats::from_value(&v).unwrap();
+        assert_eq!(s.events, 10);
+        assert_eq!(s.scratch_grows, 7);
+        assert_eq!(s.spec_planned, 0);
+        assert_eq!(s.spec_hits, 0);
+        assert_eq!(s.spec_invalidations, 0);
+    }
+
+    #[test]
+    fn hot_path_stats_roundtrip() {
+        let s = HotPathStats {
+            events: 1,
+            spec_planned: 8,
+            spec_hits: 6,
+            spec_invalidations: 2,
+            ..Default::default()
+        };
+        let v = s.to_value();
+        assert_eq!(HotPathStats::from_value(&v).unwrap(), s);
     }
 
     #[test]

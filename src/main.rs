@@ -156,6 +156,19 @@ fn print_hot_path_stats() {
         s.trace_bucket_misses,
         s.scratch_grows
     );
+    let hit_pct = if s.spec_planned > 0 {
+        100.0 * s.spec_hits as f64 / s.spec_planned as f64
+    } else {
+        0.0
+    };
+    eprintln!(
+        "sim parallel planner: {} slots speculated | {} committed unchanged ({hit_pct:.1} %) | \
+         {} invalidated and recomputed | {} worker thread(s)",
+        s.spec_planned,
+        s.spec_hits,
+        s.spec_invalidations,
+        sustain_hpc::core::sweep::effective_threads()
+    );
 }
 
 fn run_one(name: &str, args: &Args) -> Result<(), String> {

@@ -13,6 +13,18 @@ use sustain_hpc::grid::synth::TraceCache;
 use sustain_hpc::scheduler::sim::{try_simulate, SimConfig};
 use sustain_hpc::sim_core::units::Power;
 
+/// CI also runs this harness under `SUSTAIN_THREADS=2`: honor the env
+/// knob and force the speculative planner on (threshold 0), so the
+/// no-panic contract is exercised under in-scenario parallelism and the
+/// shared worker budget too.
+fn parallelism_init() {
+    static INIT: std::sync::Once = std::sync::Once::new();
+    INIT.call_once(|| {
+        sustain_hpc::core::sweep::init_threads_from_env();
+        sustain_hpc::scheduler::sim::set_par_pending_min(0);
+    });
+}
+
 /// The adversarial float pool. Index 0..=3 are "plausible" values so the
 /// harness also exercises the success path.
 const EVIL: [f64; 10] = [
@@ -58,6 +70,7 @@ proptest! {
         sc_sel in 0usize..3,
         sc_val in 0usize..EVIL.len(),
     ) {
+        parallelism_init();
         let mut s = small_scenario(days, seed);
         s.workload.arrivals_per_hour = EVIL[w_arr];
         s.workload.malleable_fraction = EVIL[w_frac];
@@ -104,6 +117,7 @@ proptest! {
         ck_lo in 0usize..EVIL.len(),
         ck_hi in 0usize..EVIL.len(),
     ) {
+        parallelism_init();
         let mut cfg = SimConfig::easy(Cluster::new(1));
         // Degenerate cluster built literally: the asserting constructor
         // cannot express it, but a deserialized config could.
@@ -139,6 +153,7 @@ proptest! {
         n in 1usize..20,
         fail_mask in 0u32..1_048_576,
     ) {
+        parallelism_init();
         let points: Vec<usize> = (0..n).collect();
         let results = try_sweep(&points, |&i| {
             assert!(fail_mask & (1 << i) == 0, "chaos-injected failure");

@@ -1,0 +1,95 @@
+//! Property test for the speculative parallel planner: on random
+//! clusters and pending queues, conservative backfilling with the
+//! snapshot → speculate → ordered-commit pass (threshold 0, 8 threads)
+//! must produce the same `SimOutcome`, byte for byte, as the serial
+//! planner (threshold `usize::MAX`).
+//!
+//! The golden suite pins six curated scenarios at several thread
+//! counts; this harness explores the space the corpus cannot: arbitrary
+//! job mixes, walltime overestimates (reservations longer than true
+//! runtimes, so later passes re-plan against stale profiles), fair
+//! share, and alternating power budgets that block head starts and
+//! force reservation fallbacks.
+
+use proptest::prelude::*;
+use serde::{Serialize, Value};
+use sustain_hpc::prelude::*;
+use sustain_hpc::scheduler::metrics::SimOutcome;
+use sustain_hpc::scheduler::sim::FairShareCfg;
+use sustain_hpc::sim_core::series::TimeSeries;
+use sustain_hpc::workload::job::JobBuilder;
+
+/// Outcome minus the volatile `hot_path` counter block (which is
+/// *expected* to differ between the serial and speculative planners).
+fn canonical(out: &SimOutcome) -> String {
+    let mut v = out.to_value();
+    if let Value::Object(fields) = &mut v {
+        fields.retain(|(k, _)| k != "hot_path");
+    }
+    serde_json::to_string(&v).unwrap()
+}
+
+proptest! {
+    #[test]
+    fn speculative_commit_equals_serial_planner(
+        nodes in 4u32..40,
+        // (submit quarter-hour, requested size, runtime quarter-hours,
+        // walltime-overestimate quarter-hours, user)
+        jobs_raw in prop::collection::vec(
+            (0u32..200, 1u32..24, 1u32..40, 0u32..16, 0u32..5),
+            0..90,
+        ),
+        fair_share in any::<bool>(),
+        budget_sel in 0usize..3,
+    ) {
+        let jobs: Vec<_> = jobs_raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(submit_q, size, run_q, over_q, user))| {
+                let runtime = SimDuration::from_hours(run_q as f64 * 0.25);
+                JobBuilder::new(
+                    i as u64 + 1,
+                    SimTime::from_hours(submit_q as f64 * 0.25),
+                    size.min(nodes),
+                    runtime,
+                )
+                .walltime(runtime + SimDuration::from_hours(over_q as f64 * 0.25))
+                .user(user)
+                .power_per_node(Power::from_watts(400.0))
+                .build()
+            })
+            .collect();
+
+        let mut cfg = SimConfig::easy(Cluster::new(nodes));
+        cfg.policy = Policy::ConservativeBackfill;
+        if fair_share {
+            cfg.fair_share = Some(FairShareCfg::default());
+        }
+        if budget_sel > 0 {
+            // Alternating generous/tight 6-hour blocks; the tight level
+            // power-blocks `start == now` candidates so the commit loop
+            // takes the reservation fallback.
+            let tight = [f64::INFINITY, 8_000.0, 2_400.0][budget_sel];
+            let values: Vec<f64> = (0..400)
+                .map(|i| if i % 2 == 0 { 40_000.0 } else { tight })
+                .collect();
+            cfg.power_budget = Some(TimeSeries::new(
+                SimTime::ZERO,
+                SimDuration::from_hours(6.0),
+                values,
+            ));
+        }
+
+        sustain_hpc::core::sweep::set_threads(8);
+        sustain_hpc::scheduler::sim::set_par_pending_min(usize::MAX);
+        let serial = simulate(&jobs, &cfg);
+        sustain_hpc::scheduler::sim::set_par_pending_min(0);
+        let speculative = simulate(&jobs, &cfg);
+
+        prop_assert!(
+            serial.hot_path.spec_planned == 0,
+            "threshold MAX must disable speculation"
+        );
+        prop_assert_eq!(canonical(&serial), canonical(&speculative));
+    }
+}

@@ -1,8 +1,8 @@
 //! Offline compat shim for the subset of `rayon` used by this workspace:
 //! `par_iter()` on slices/`Vec`, `into_par_iter()` on integer ranges, and
-//! the `map` / `min_by` / `collect` / `for_each` / `sum` adaptors, plus the
-//! global-thread-count knobs (`ThreadPoolBuilder::build_global`,
-//! `current_num_threads`).
+//! the `map` / `min_by` / `collect` / `collect_into_vec` / `for_each` /
+//! `sum` adaptors, plus the global-thread-count knobs
+//! (`ThreadPoolBuilder::build_global`, `current_num_threads`).
 //!
 //! Execution model: a pipeline is an indexed pure function `index -> item`.
 //! [`drive`] evaluates indices in contiguous chunks pulled from an atomic
@@ -11,6 +11,18 @@
 //! order, regardless of thread count or OS scheduling. This is a stronger
 //! guarantee than upstream rayon's `collect` (which is also ordered) and is
 //! what the sweep driver's bit-for-bit determinism tests rely on.
+//!
+//! Thread budget: upstream rayon runs every pipeline on one global pool,
+//! so nested parallelism never exceeds the configured thread count. This
+//! shim spawns scoped workers per pipeline instead, and emulates the
+//! single-pool property with a process-wide *extra-worker budget*: the
+//! global thread count `T` funds `T - 1` extra workers, each pipeline
+//! leases as many as are available for its duration (the calling thread
+//! always participates as worker zero), and nested pipelines — e.g. a
+//! per-scenario scheduler pass inside a sweep worker — find the budget
+//! exhausted and degrade to inline execution instead of oversubscribing
+//! the machine. Leases are released on drop, so panics cannot strand
+//! permits. Output is index-ordered and therefore identical either way.
 //!
 //! With an effective thread count of 1 (or a single-element input) the
 //! pipeline runs inline on the caller's thread with no synchronization.
@@ -82,39 +94,113 @@ impl ThreadPoolBuilder {
 }
 
 // ---------------------------------------------------------------------------
+// Shared thread budget
+// ---------------------------------------------------------------------------
+
+/// Extra worker threads currently leased by in-flight pipelines.
+static EXTRA_IN_USE: AtomicUsize = AtomicUsize::new(0);
+
+/// A lease on `extra` worker threads, returned to the budget on drop
+/// (including unwinds, so a panicking pipeline cannot strand permits).
+struct Lease {
+    extra: usize,
+}
+
+impl Lease {
+    /// Lease up to `want` extra workers from the process-wide budget of
+    /// `current_num_threads() - 1`. Returns an empty lease (inline
+    /// execution) when the budget is exhausted, e.g. inside a worker of
+    /// an enclosing pipeline.
+    fn acquire(want: usize) -> Lease {
+        if want == 0 {
+            return Lease { extra: 0 };
+        }
+        let cap = current_num_threads().saturating_sub(1);
+        let mut used = EXTRA_IN_USE.load(AtomicOrdering::Relaxed);
+        loop {
+            let take = want.min(cap.saturating_sub(used));
+            if take == 0 {
+                return Lease { extra: 0 };
+            }
+            match EXTRA_IN_USE.compare_exchange_weak(
+                used,
+                used + take,
+                AtomicOrdering::AcqRel,
+                AtomicOrdering::Relaxed,
+            ) {
+                Ok(_) => return Lease { extra: take },
+                Err(cur) => used = cur,
+            }
+        }
+    }
+}
+
+impl Drop for Lease {
+    fn drop(&mut self) {
+        if self.extra > 0 {
+            EXTRA_IN_USE.fetch_sub(self.extra, AtomicOrdering::AcqRel);
+        }
+    }
+}
+
+/// Extra workers the budget could lease right now (shim extension, not
+/// upstream API). `0` either means a single-threaded configuration or
+/// that enclosing pipelines hold the whole budget; callers use it to
+/// skip building parallel-only scaffolding that could not pay off.
+/// Purely advisory — the answer can change before a pipeline runs, and
+/// pipelines stay correct (index-ordered) at any actual worker count.
+pub fn available_extra_workers() -> usize {
+    current_num_threads()
+        .saturating_sub(1)
+        .saturating_sub(EXTRA_IN_USE.load(AtomicOrdering::Relaxed))
+}
+
+// ---------------------------------------------------------------------------
 // Execution engine
 // ---------------------------------------------------------------------------
 
 /// Evaluate `eval(0..len)` across worker threads, returning results in index
 /// order. Chunks are claimed from an atomic counter (cheap work stealing for
-/// unevenly sized items) and reassembled by chunk start offset.
+/// unevenly sized items) and reassembled by chunk start offset. The calling
+/// thread always participates; additional workers come from the shared
+/// [`Lease`] budget, so nested `drive`s run inline rather than multiplying
+/// threads.
 fn drive<R, F>(len: usize, eval: F) -> Vec<R>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
-    let threads = current_num_threads().min(len.max(1));
-    if threads <= 1 {
+    let want = current_num_threads().min(len.max(1));
+    let lease = if want <= 1 {
+        Lease { extra: 0 }
+    } else {
+        Lease::acquire(want - 1)
+    };
+    if lease.extra == 0 {
         return (0..len).map(eval).collect();
     }
     // 4 chunks per worker balances stealing granularity against
     // synchronization; chunk size never drops below 1.
-    let chunk = len.div_ceil(threads * 4).max(1);
+    let workers = lease.extra + 1;
+    let chunk = len.div_ceil(workers * 4).max(1);
     let cursor = AtomicUsize::new(0);
     let parts: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let start = cursor.fetch_add(chunk, AtomicOrdering::Relaxed);
-                if start >= len {
-                    break;
-                }
-                let end = (start + chunk).min(len);
-                let piece: Vec<R> = (start..end).map(&eval).collect();
-                parts.lock().expect("result mutex").push((start, piece));
-            });
+    let work = || loop {
+        let start = cursor.fetch_add(chunk, AtomicOrdering::Relaxed);
+        if start >= len {
+            break;
         }
+        let end = (start + chunk).min(len);
+        let piece: Vec<R> = (start..end).map(&eval).collect();
+        parts.lock().expect("result mutex").push((start, piece));
+    };
+    std::thread::scope(|scope| {
+        for _ in 0..lease.extra {
+            scope.spawn(work);
+        }
+        work();
     });
+    drop(lease);
     let mut parts = parts.into_inner().expect("result mutex");
     parts.sort_unstable_by_key(|(start, _)| *start);
     let mut out = Vec::with_capacity(len);
@@ -123,6 +209,30 @@ where
     }
     out
 }
+
+/// Raw-pointer wrapper letting scoped workers write disjoint indices of a
+/// caller-owned buffer. Safe only because every index is claimed by exactly
+/// one worker (see `collect_into_vec`).
+struct SendPtr<T>(*mut T);
+
+impl<T> SendPtr<T> {
+    /// Accessor so closures capture the `Sync` wrapper, not the raw
+    /// pointer field (2021-edition closures capture by field).
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+// SAFETY: the pointer is only used to write disjoint, in-capacity indices
+// while the owning `Vec` is borrowed mutably by the driving call.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 // ---------------------------------------------------------------------------
 // Parallel iterator trait + adaptors
@@ -164,6 +274,59 @@ pub trait ParallelIterator: Sized + Sync {
     /// Collect into any container buildable from an ordered `Vec`.
     fn collect<C: From<Vec<Self::Item>>>(self) -> C {
         C::from(self.to_vec())
+    }
+
+    /// Materialize all elements in index order into `out`, reusing its
+    /// allocation (mirrors `IndexedParallelIterator::collect_into_vec`).
+    ///
+    /// `out` is cleared first; afterwards `out.len() == self.len()`.
+    /// Workers write disjoint index ranges directly into `out`'s spare
+    /// capacity — no per-chunk buffers — so with a warm buffer this is
+    /// allocation-free. Extra workers come from the shared [`Lease`]
+    /// budget; with none available the fill runs inline.
+    fn collect_into_vec(self, out: &mut Vec<Self::Item>) {
+        let len = self.len();
+        out.clear();
+        out.reserve(len);
+        let want = current_num_threads().min(len.max(1));
+        let lease = if want <= 1 {
+            Lease { extra: 0 }
+        } else {
+            Lease::acquire(want - 1)
+        };
+        if lease.extra == 0 {
+            out.extend((0..len).map(|i| self.eval(i)));
+            return;
+        }
+        let workers = lease.extra + 1;
+        let chunk = len.div_ceil(workers * 4).max(1);
+        let cursor = AtomicUsize::new(0);
+        let base = SendPtr(out.as_mut_ptr());
+        let work = || loop {
+            let start = cursor.fetch_add(chunk, AtomicOrdering::Relaxed);
+            if start >= len {
+                break;
+            }
+            let end = (start + chunk).min(len);
+            for i in start..end {
+                // SAFETY: `i < len <= out.capacity()` and each index
+                // is claimed by exactly one worker, so every write is
+                // in-bounds and disjoint; the buffer outlives the
+                // scope, and `set_len` runs only after it joins. On
+                // unwind `out` keeps length 0 (written elements leak,
+                // no double drop).
+                unsafe { base.get().add(i).write(self.eval(i)) };
+            }
+        };
+        std::thread::scope(|scope| {
+            for _ in 0..lease.extra {
+                scope.spawn(work);
+            }
+            work();
+        });
+        // SAFETY: the scope joined every worker, and together they wrote
+        // each index in `0..len` exactly once.
+        unsafe { out.set_len(len) };
     }
 
     /// Minimum element by `cmp`; on ties the last minimal element wins,
@@ -344,5 +507,64 @@ mod tests {
     fn sum_matches_serial() {
         let total: u64 = (0u64..10_000).into_par_iter().sum();
         assert_eq!(total, 10_000 * 9_999 / 2);
+    }
+
+    #[test]
+    fn collect_into_vec_matches_serial_and_reuses_capacity() {
+        let input: Vec<u64> = (0..4096).collect();
+        let serial: Vec<u64> = input.iter().map(|x| x * 7 + 1).collect();
+        let mut out: Vec<u64> = Vec::new();
+        input
+            .par_iter()
+            .map(|x| x * 7 + 1)
+            .collect_into_vec(&mut out);
+        assert_eq!(out, serial);
+        let (cap, ptr) = (out.capacity(), out.as_ptr());
+        input
+            .par_iter()
+            .map(|x| x * 7 + 1)
+            .collect_into_vec(&mut out);
+        assert_eq!(out, serial);
+        assert_eq!(out.capacity(), cap, "warm refill must not reallocate");
+        assert_eq!(out.as_ptr(), ptr, "warm refill must reuse the buffer");
+    }
+
+    #[test]
+    fn collect_into_vec_empty_pipeline_clears() {
+        let mut out = vec![1u32, 2, 3];
+        let empty: Vec<u32> = Vec::new();
+        empty.par_iter().map(|&x| x).collect_into_vec(&mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn nested_pipelines_share_the_budget_and_stay_ordered() {
+        // Inside a worker of an outer pipeline the extra-thread budget
+        // is (mostly) leased out, so inner pipelines degrade toward
+        // inline execution instead of oversubscribing; either way the
+        // result is index-ordered and identical to serial.
+        let cap = super::current_num_threads().saturating_sub(1);
+        let outer: Vec<u64> = (0..128).collect();
+        let got: Vec<u64> = outer
+            .par_iter()
+            .map(|&x| {
+                let inner: u64 = (0u64..256).into_par_iter().map(|y| y ^ x).sum();
+                assert!(
+                    super::EXTRA_IN_USE.load(std::sync::atomic::Ordering::Relaxed) <= cap,
+                    "extra workers exceeded the process budget"
+                );
+                inner
+            })
+            .collect();
+        let want: Vec<u64> = outer
+            .iter()
+            .map(|&x| (0u64..256).map(|y| y ^ x).sum())
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn available_extra_workers_is_within_budget() {
+        assert!(super::available_extra_workers() <= super::current_num_threads().saturating_sub(1));
     }
 }

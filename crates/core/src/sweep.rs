@@ -40,27 +40,50 @@ use std::sync::Arc;
 use sustain_grid::region::RegionProfile;
 use sustain_grid::synth::generate_calibrated_arc;
 use sustain_grid::trace::CarbonTrace;
-use sustain_sim_core::error::SimError;
+use sustain_sim_core::error::{env_knob_usize, ConfigError, SimError};
 use sustain_sim_core::rng::RngStream;
 
 use rayon::prelude::*;
 
-pub use sustain_grid::synth::{global_trace_cache, CacheStats, TraceCache, TraceKey};
+pub use sustain_grid::synth::{
+    global_trace_cache, init_trace_cache_cap_from_env, CacheStats, TraceCache, TraceKey,
+};
 
 /// Environment variable that sets the sweep worker-thread count
 /// (equivalent to the CLI's `--threads`). `0` = hardware parallelism.
 pub const THREADS_ENV: &str = "SUSTAIN_THREADS";
 
+/// Fallible [`set_threads`]: applies the worker-thread count and
+/// propagates a pool-reconfiguration failure as a typed
+/// [`ConfigError`]. A long-running process (the service front-end)
+/// must use this path — a swallowed failure would silently keep a
+/// stale thread count for the rest of its lifetime.
+pub fn try_set_threads(n: usize) -> Result<(), ConfigError> {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build_global()
+        .map_err(|e| {
+            ConfigError::new(
+                "sweep",
+                "threads",
+                format!("failed to apply worker-thread count {n}: {e}"),
+            )
+        })
+}
+
 /// Sets the number of worker threads used by all subsequent sweeps.
 /// `0` restores the default (all available hardware parallelism).
 /// `1` forces fully serial, in-thread execution.
+///
+/// The vendored pool has no persistent workers to rebuild, so
+/// reconfiguration cannot currently fail; should a future upstream
+/// error occur, it is logged loudly to stderr (the previous count stays
+/// in effect) instead of being discarded. Callers that need to *react*
+/// to the failure use [`try_set_threads`].
 pub fn set_threads(n: usize) {
-    // The vendored pool has no persistent workers to rebuild, so
-    // repeated reconfiguration cannot fail; a future upstream error
-    // would mean the previous count simply stays in effect.
-    let _ = rayon::ThreadPoolBuilder::new()
-        .num_threads(n)
-        .build_global();
+    if let Err(e) = try_set_threads(n) {
+        eprintln!("warning: {e}; the previous thread count stays in effect");
+    }
 }
 
 /// Number of worker threads sweeps will currently use.
@@ -68,13 +91,21 @@ pub fn effective_threads() -> usize {
     rayon::current_num_threads()
 }
 
-/// Applies [`THREADS_ENV`] if set (and parseable); returns the applied
-/// count. Call once at process start; an explicit `--threads` flag
-/// should be applied after this and wins.
-pub fn init_threads_from_env() -> Option<usize> {
-    let n: usize = std::env::var(THREADS_ENV).ok()?.parse().ok()?;
-    set_threads(n);
-    Some(n)
+/// Applies [`THREADS_ENV`] if set; returns the applied count. Call once
+/// at process start; an explicit `--threads` flag should be applied
+/// after this and wins.
+///
+/// An unparseable value (`two`, `-1`, `1.5`) is a hard, typed error —
+/// the operator asked for a specific thread count and must not silently
+/// get all cores instead.
+pub fn init_threads_from_env() -> Result<Option<usize>, ConfigError> {
+    match env_knob_usize(THREADS_ENV)? {
+        Some(n) => {
+            try_set_threads(n)?;
+            Ok(Some(n))
+        }
+        None => Ok(None),
+    }
 }
 
 /// Maps every point to a row in parallel, preserving input order.
@@ -327,7 +358,26 @@ mod tests {
         // the thread count (order-preserving pool), only their speed.
         set_threads(3);
         assert_eq!(effective_threads(), 3);
+        try_set_threads(2).unwrap();
+        assert_eq!(effective_threads(), 2);
         set_threads(0);
         assert!(effective_threads() >= 1);
+    }
+
+    #[test]
+    fn env_init_accepts_absent_or_valid_knob_only() {
+        // The process environment is shared across the test binary, so
+        // only assert properties that hold for whatever SUSTAIN_THREADS
+        // the runner exported: absent → Ok(None); a valid integer →
+        // Ok(Some(n)). The rejection of malformed values is asserted in
+        // the subprocess CLI tests (tests/cli.rs), where the environment
+        // is controlled per invocation.
+        match std::env::var(THREADS_ENV) {
+            Err(_) => assert_eq!(init_threads_from_env(), Ok(None)),
+            Ok(raw) => match raw.trim().parse::<usize>() {
+                Ok(n) => assert_eq!(init_threads_from_env(), Ok(Some(n))),
+                Err(_) => assert!(init_threads_from_env().is_err()),
+            },
+        }
     }
 }

@@ -11,9 +11,11 @@
 use crate::region::RegionProfile;
 use crate::trace::CarbonTrace;
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
+use sustain_sim_core::error::{env_knob_usize, ConfigError};
 use sustain_sim_core::rng::RngStream;
 use sustain_sim_core::series::TimeSeries;
 use sustain_sim_core::time::{SimDuration, SimTime};
@@ -165,7 +167,9 @@ pub const DEFAULT_TRACE_CACHE_CAPACITY: usize = 256;
 pub const TRACE_CACHE_CAP_ENV: &str = "SUSTAIN_TRACE_CACHE_CAP";
 
 /// Counter and occupancy snapshot from [`TraceCache::stats`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// Serializable so a service front-end can expose it on a stats
+/// endpoint as structured JSON.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Requests served from the cache.
     pub hits: u64,
@@ -355,12 +359,38 @@ impl TraceCache {
 pub fn global_trace_cache() -> &'static TraceCache {
     static CACHE: OnceLock<TraceCache> = OnceLock::new();
     CACHE.get_or_init(|| {
-        let cap = std::env::var(TRACE_CACHE_CAP_ENV)
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(DEFAULT_TRACE_CACHE_CAPACITY);
+        // Lazy path: reachable from deep inside a sweep, so a malformed
+        // capacity cannot surface as a `Result` here — warn loudly
+        // (once: the cache is built once) and keep the default instead
+        // of silently ignoring the knob. Boundary code gets the
+        // typed-error behavior from [`init_trace_cache_cap_from_env`].
+        let cap = match env_knob_usize(TRACE_CACHE_CAP_ENV) {
+            Ok(Some(cap)) => cap,
+            Ok(None) => DEFAULT_TRACE_CACHE_CAPACITY,
+            Err(e) => {
+                eprintln!(
+                    "warning: {e}; keeping the default trace-cache \
+                     capacity of {DEFAULT_TRACE_CACHE_CAPACITY}"
+                );
+                DEFAULT_TRACE_CACHE_CAPACITY
+            }
+        };
         TraceCache::with_capacity(cap)
     })
+}
+
+/// Strictly applies [`TRACE_CACHE_CAP_ENV`] to the process-wide cache if
+/// set; returns the applied capacity. Boundary code (CLI/service
+/// startup) calls this once so a malformed value becomes a typed
+/// [`ConfigError`] instead of a silently-used default. Safe to call
+/// whether or not the cache was already touched: the capacity is
+/// (re)applied to the live cache, evicting down if needed.
+pub fn init_trace_cache_cap_from_env() -> Result<Option<usize>, ConfigError> {
+    let parsed = env_knob_usize(TRACE_CACHE_CAP_ENV)?;
+    if let Some(cap) = parsed {
+        global_trace_cache().set_capacity(cap);
+    }
+    Ok(parsed)
 }
 
 /// Cache-backed variant of [`generate_calibrated`]: returns a shared

@@ -25,7 +25,9 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::cell::Cell;
 use sustain_grid::trace::CarbonTrace;
-use sustain_sim_core::error::{ensure_ordered, ensure_positive, ConfigError, SimError, Validate};
+use sustain_sim_core::error::{
+    ensure_ordered, ensure_positive, env_knob_usize, ConfigError, SimError, Validate,
+};
 use sustain_sim_core::event::{EventId, EventQueue};
 use sustain_sim_core::series::TimeSeries;
 use sustain_sim_core::time::{SimDuration, SimTime};
@@ -413,19 +415,46 @@ static PAR_PENDING_MIN: std::sync::atomic::AtomicUsize =
     std::sync::atomic::AtomicUsize::new(PAR_PENDING_MIN_DEFAULT);
 static PAR_PENDING_MIN_INIT: std::sync::Once = std::sync::Once::new();
 
+/// Environment variable overriding the speculative-planning threshold
+/// (see [`par_pending_min`]).
+pub const PAR_PENDING_MIN_ENV: &str = "SUSTAIN_PAR_PENDING_MIN";
+
+/// Strictly applies [`PAR_PENDING_MIN_ENV`] if set; returns the applied
+/// threshold. Boundary code (CLI/service startup) calls this once so a
+/// malformed value becomes a typed error instead of a silently-used
+/// default; an explicit [`set_par_pending_min`] afterwards still wins.
+pub fn init_par_pending_min_from_env() -> Result<Option<usize>, ConfigError> {
+    let parsed = env_knob_usize(PAR_PENDING_MIN_ENV)?;
+    if let Some(v) = parsed {
+        set_par_pending_min(v);
+    } else {
+        // Mark resolution done so the lazy path cannot re-read (and
+        // re-warn about) the environment later in the process lifetime.
+        PAR_PENDING_MIN_INIT.call_once(|| {});
+    }
+    Ok(parsed)
+}
+
 /// Minimum pending-queue length for the speculative parallel planning
-/// phase. Resolved once from `SUSTAIN_PAR_PENDING_MIN` (falling back to
-/// 64) unless [`set_par_pending_min`] was called first. The knob only
-/// trades setup cost against parallelism — outcomes are byte-identical
-/// at every value and every thread count.
+/// phase. Resolved once from [`PAR_PENDING_MIN_ENV`] (falling back to
+/// 64) unless [`set_par_pending_min`] or
+/// [`init_par_pending_min_from_env`] ran first. The knob only trades
+/// setup cost against parallelism — outcomes are byte-identical at
+/// every value and every thread count.
+///
+/// This lazy path is reached from deep inside the simulator, so a
+/// malformed value cannot surface as a `Result`; it warns loudly on
+/// stderr (once) and keeps the default rather than silently ignoring
+/// the knob. Boundary code gets the typed-error behavior by calling
+/// [`init_par_pending_min_from_env`] at startup.
 pub fn par_pending_min() -> usize {
-    PAR_PENDING_MIN_INIT.call_once(|| {
-        if let Some(v) = std::env::var("SUSTAIN_PAR_PENDING_MIN")
-            .ok()
-            .and_then(|s| s.parse().ok())
-        {
-            PAR_PENDING_MIN.store(v, std::sync::atomic::Ordering::Relaxed);
-        }
+    PAR_PENDING_MIN_INIT.call_once(|| match env_knob_usize(PAR_PENDING_MIN_ENV) {
+        Ok(Some(v)) => PAR_PENDING_MIN.store(v, std::sync::atomic::Ordering::Relaxed),
+        Ok(None) => {}
+        Err(e) => eprintln!(
+            "warning: {e}; keeping the default speculative-planning \
+             threshold of {PAR_PENDING_MIN_DEFAULT}"
+        ),
     });
     PAR_PENDING_MIN.load(std::sync::atomic::Ordering::Relaxed)
 }

@@ -1,0 +1,246 @@
+//! Minimal, dependency-free HTTP/1.1 support: enough to parse one
+//! request from a stream and write one `Connection: close` response.
+//!
+//! This is deliberately not a general HTTP implementation. The service
+//! speaks exactly the subset its JSON API needs — a request line,
+//! headers (only `Content-Length` and `Expect` are interpreted), an
+//! optional body, and a single response per connection — with hard
+//! limits on header and body size so a misbehaving client cannot make
+//! the server allocate without bound.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Hard cap on the request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Hard cap on a request body.
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, uppercased as received (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path (query strings are kept verbatim; the API routes on
+    /// the full path and defines none).
+    pub path: String,
+    /// Raw request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be parsed. Every variant maps to a 4xx
+/// response; the connection is closed afterwards either way.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// The request line or headers were malformed or over the size cap.
+    BadRequest(String),
+    /// The declared body length exceeded [`MAX_BODY_BYTES`].
+    PayloadTooLarge(usize),
+    /// The peer closed or timed out before a full request arrived.
+    Incomplete(String),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::BadRequest(m) => write!(f, "malformed request: {m}"),
+            HttpError::PayloadTooLarge(n) => {
+                write!(f, "request body of {n} bytes exceeds {MAX_BODY_BYTES}")
+            }
+            HttpError::Incomplete(m) => write!(f, "incomplete request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Reads and parses one request from `stream`.
+///
+/// Honors `Expect: 100-continue` (curl sends it for larger POST bodies)
+/// by emitting the interim response before reading the body.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    let mut head = Vec::with_capacity(512);
+    let mut byte = [0u8; 1];
+    // Byte-at-a-time until CRLFCRLF: request heads are tiny and this
+    // keeps the parser trivially correct about not consuming body bytes.
+    let head_end = loop {
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                return Err(HttpError::Incomplete(format!(
+                    "connection closed after {} header bytes",
+                    head.len()
+                )))
+            }
+            Ok(_) => head.push(byte[0]),
+            Err(e) => return Err(HttpError::Incomplete(format!("read error: {e}"))),
+        }
+        if head.ends_with(b"\r\n\r\n") {
+            break head.len();
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::BadRequest(format!(
+                "request head exceeds {MAX_HEAD_BYTES} bytes"
+            )));
+        }
+    };
+    let head_text = std::str::from_utf8(&head[..head_end])
+        .map_err(|_| HttpError::BadRequest("request head is not UTF-8".into()))?;
+    let mut lines = head_text.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("empty request".into()))?;
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| HttpError::BadRequest("missing method".into()))?
+        .to_string();
+    let path = parts
+        .next()
+        .filter(|p| p.starts_with('/'))
+        .ok_or_else(|| HttpError::BadRequest(format!("bad request line: {request_line:?}")))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("missing HTTP version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!(
+            "unsupported protocol {version:?}"
+        )));
+    }
+
+    let mut content_length: usize = 0;
+    let mut expects_continue = false;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadRequest(format!("bad header line {line:?}")));
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| HttpError::BadRequest(format!("bad Content-Length {value:?}")))?;
+        } else if name.eq_ignore_ascii_case("expect") && value.eq_ignore_ascii_case("100-continue")
+        {
+            expects_continue = true;
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::PayloadTooLarge(content_length));
+    }
+    if expects_continue && content_length > 0 {
+        // Best-effort: a client that did not wait is fine too.
+        let _ = stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n");
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        stream
+            .read_exact(&mut body)
+            .map_err(|e| HttpError::Incomplete(format!("body read error: {e}")))?;
+    }
+    Ok(Request { method, path, body })
+}
+
+/// Standard reason phrase for the status codes this service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one JSON response and flushes; the connection is then done
+/// (`Connection: close`). Write failures are returned so the caller can
+/// count them, but there is nothing more to do for this peer.
+pub fn write_json_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Runs the parser against a raw byte stream via a real loopback
+    /// socket (the parser takes `TcpStream`, not a generic reader, to
+    /// stay mirror-free with production).
+    fn parse_raw(raw: &[u8]) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+            // Close the write half so reads observe EOF.
+            s.shutdown(std::net::Shutdown::Write).unwrap();
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let parsed = read_request(&mut conn);
+        writer.join().unwrap();
+        parsed
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req =
+            parse_raw(b"POST /run HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/run");
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse_raw(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        assert!(matches!(
+            parse_raw(b"not http at all\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse_raw(b"GET /x HTTP/1.1\r\nbadheader\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse_raw(b"GET /x HTT"),
+            Err(HttpError::Incomplete(_))
+        ));
+        assert!(matches!(
+            parse_raw(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
+            Err(HttpError::Incomplete(_))
+        ));
+        let huge = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            parse_raw(huge.as_bytes()),
+            Err(HttpError::PayloadTooLarge(_))
+        ));
+    }
+}

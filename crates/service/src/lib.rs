@@ -1,0 +1,39 @@
+//! # sustain-service
+//!
+//! Long-running experiment service: a dependency-free HTTP/1.1 JSON
+//! front-end over the scenario/sweep surface, so repeated experiments
+//! amortize the process-wide trace cache and share one thread budget
+//! instead of paying cold-start per CLI invocation.
+//!
+//! Endpoints:
+//!
+//! | Endpoint         | Purpose                                                      |
+//! |------------------|--------------------------------------------------------------|
+//! | `POST /run`      | One scenario, full `ScenarioResult` body                     |
+//! | `POST /sweep`    | One-axis sweep through the fault-isolated sweep driver       |
+//! | `GET /healthz`   | Liveness                                                     |
+//! | `GET /stats`     | Trace-cache / hot-path / per-endpoint request counters       |
+//! | `POST /shutdown` | Ask the embedding loop to drain and exit                     |
+//!
+//! Responses are byte-identical to the one-shot CLI (`sustain-hpc run`
+//! / `sweep`): both call the same [`api::run_body`] / [`api::sweep_body`]
+//! handlers. Errors come back as structured JSON
+//! (`{"error": {"kind", "message", ...}}`) with 4xx for anything the
+//! caller got wrong and 5xx only for isolated faults. Overload is a
+//! fast 429 from a bounded accept queue; shutdown drains every accepted
+//! request before the workers exit. See the [`server`] module docs for
+//! the thread-budget sharing model.
+
+#![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+// `signal.rs` declares one libc prototype; everything else is safe.
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod api;
+pub mod http;
+pub mod server;
+pub mod signal;
+
+pub use api::{run_body, sweep_body, RunRequest, SweepRequest};
+pub use server::{serve, ServeOptions, ServerHandle, StatsBody};

@@ -1,0 +1,548 @@
+//! The server itself: bounded accept queue, budget-leasing worker
+//! pool, routing, graceful drain.
+//!
+//! ## Thread-budget sharing
+//!
+//! The worker pool does **not** get its own threads on top of the
+//! simulation's: it draws from the same process-wide budget that sweeps
+//! and in-scenario speculative planning use (the rayon shim's extra-
+//! worker budget). Worker 0 is the *primary* and processes requests
+//! without a lease — the service always makes progress even when sweeps
+//! have the whole budget. Every other worker must hold a
+//! [`rayon::try_lease_worker`] lease while processing, so the total
+//! number of active threads in the process never exceeds the configured
+//! thread count, no matter how requests and sweep points interleave.
+//!
+//! ## Overload and shutdown
+//!
+//! The accept queue is bounded (`queue_depth`); a connection arriving
+//! while it is full is answered `429 Too Many Requests` immediately and
+//! closed, so overload is explicit and cheap instead of an unbounded
+//! backlog. On shutdown (SIGINT/SIGTERM, `POST /shutdown`, or
+//! [`ServerHandle::shutdown`]) the listener stops accepting, queued and
+//! in-flight requests all complete, and only then do the workers exit —
+//! no accepted request is ever dropped with an empty response.
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+use sustain_grid::synth::{global_trace_cache, CacheStats};
+use sustain_scheduler::metrics::{hot_path_totals, HotPathStats};
+use sustain_telemetry::requests::{EndpointSnapshot, RequestLog};
+
+use crate::api;
+use crate::http::{read_request, write_json_response, HttpError, Request};
+
+/// How the serve loop is configured. `Default` binds an ephemeral
+/// loopback port with 4 in-flight slots and a queue of 16.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Bind address, e.g. `127.0.0.1:8725`. Port 0 picks an ephemeral
+    /// port (read it back via [`ServerHandle::local_addr`]).
+    pub addr: String,
+    /// Maximum requests processed concurrently. The effective worker
+    /// count is `min(max_inflight, rayon::current_num_threads())`, and
+    /// at least 1.
+    pub max_inflight: usize,
+    /// Maximum connections waiting for a worker before new arrivals are
+    /// answered 429.
+    pub queue_depth: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            max_inflight: 4,
+            queue_depth: 16,
+        }
+    }
+}
+
+/// Body of `GET /stats`: a point-in-time snapshot of the shared
+/// simulation infrastructure plus the service's own request counters.
+#[derive(Debug, Clone, Serialize)]
+pub struct StatsBody {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Configured process thread count (the shared budget ceiling).
+    pub threads: usize,
+    /// Configured accept-queue bound.
+    pub queue_depth: usize,
+    /// Requests currently being processed.
+    pub in_flight: usize,
+    /// Connections answered 429 because the queue was full.
+    pub rejected_overload: u64,
+    /// Process-wide trace-cache counters (hits/misses/evictions).
+    pub trace_cache: CacheStats,
+    /// Process-wide scheduler hot-path totals.
+    pub hot_path: HotPathStats,
+    /// Per-endpoint request counts and latency histograms.
+    pub requests: Vec<EndpointSnapshot>,
+}
+
+/// Everything the accept thread and workers share.
+struct Inner {
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_signal: Condvar,
+    /// Stop accepting; drain and exit.
+    shutdown: AtomicBool,
+    /// A client asked for shutdown via `POST /shutdown` (the embedding
+    /// loop polls this and calls [`ServerHandle::shutdown`]).
+    shutdown_requested: AtomicBool,
+    in_flight: AtomicUsize,
+    rejected_overload: AtomicU64,
+    log: RequestLog,
+    options: ServeOptions,
+    workers: usize,
+}
+
+/// A running server. Dropping the handle does *not* stop the server;
+/// call [`ServerHandle::shutdown_and_join`] (or `shutdown` + `join`).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    inner: Arc<Inner>,
+    accept_thread: Option<JoinHandle<()>>,
+    worker_threads: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .field("workers", &self.worker_threads.len())
+            .finish()
+    }
+}
+
+impl ServerHandle {
+    /// The address the listener actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests currently being processed.
+    pub fn in_flight(&self) -> usize {
+        self.inner.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Whether a client asked for shutdown via `POST /shutdown`.
+    pub fn shutdown_requested(&self) -> bool {
+        self.inner.shutdown_requested.load(Ordering::SeqCst)
+    }
+
+    /// Begins shutdown: the listener stops accepting; queued and
+    /// in-flight requests still complete. Returns immediately.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.queue_signal.notify_all();
+    }
+
+    /// Waits for the accept thread and every worker to exit (after
+    /// [`ServerHandle::shutdown`] this means the queue has fully
+    /// drained).
+    pub fn join(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.worker_threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// [`ServerHandle::shutdown`] + [`ServerHandle::join`]: returns
+    /// once every accepted request has been answered.
+    pub fn shutdown_and_join(self) {
+        self.shutdown();
+        self.join();
+    }
+}
+
+/// Binds `options.addr` and spawns the accept thread plus the worker
+/// pool. Returns as soon as the listener is live.
+pub fn serve(options: ServeOptions) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&options.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let workers = options
+        .max_inflight
+        .min(rayon::current_num_threads())
+        .max(1);
+    let inner = Arc::new(Inner {
+        queue: Mutex::new(VecDeque::new()),
+        queue_signal: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        shutdown_requested: AtomicBool::new(false),
+        in_flight: AtomicUsize::new(0),
+        rejected_overload: AtomicU64::new(0),
+        log: RequestLog::new(),
+        options: options.clone(),
+        workers,
+    });
+
+    let accept_inner = Arc::clone(&inner);
+    let accept_thread = std::thread::Builder::new()
+        .name("svc-accept".to_string())
+        .spawn(move || accept_loop(listener, &accept_inner))?;
+
+    let mut worker_threads = Vec::with_capacity(workers);
+    for index in 0..workers {
+        let worker_inner = Arc::clone(&inner);
+        worker_threads.push(
+            std::thread::Builder::new()
+                .name(format!("svc-worker-{index}"))
+                .spawn(move || worker_loop(index, &worker_inner))?,
+        );
+    }
+
+    Ok(ServerHandle {
+        addr,
+        inner,
+        accept_thread: Some(accept_thread),
+        worker_threads,
+    })
+}
+
+/// Accepts connections until shutdown, enqueueing each for a worker or
+/// answering 429 when the queue is full.
+fn accept_loop(listener: TcpListener, inner: &Inner) {
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((mut conn, _peer)) => {
+                let enqueued = {
+                    let mut queue = match inner.queue.lock() {
+                        Ok(q) => q,
+                        Err(_) => return, // a worker panicked holding the lock
+                    };
+                    if queue.len() < inner.options.queue_depth {
+                        queue.push_back(conn);
+                        true
+                    } else {
+                        // Hand the stream back out of the lock scope so
+                        // the 429 write does not serialize the queue.
+                        drop(queue);
+                        inner.rejected_overload.fetch_add(1, Ordering::Relaxed);
+                        let body = api::error_body(
+                            "overloaded",
+                            "accept queue is full; retry later",
+                            None,
+                            None,
+                        );
+                        let _ = write_json_response(&mut conn, 429, &body);
+                        // Closing with unread request bytes in the socket
+                        // buffer sends RST, which can discard the 429
+                        // before the client reads it. Drain briefly so
+                        // the rejection actually arrives.
+                        let _ = conn.set_read_timeout(Some(Duration::from_millis(200)));
+                        let _ = conn.shutdown(std::net::Shutdown::Write);
+                        let mut sink = [0u8; 1024];
+                        while let Ok(n) = io::Read::read(&mut conn, &mut sink) {
+                            if n == 0 {
+                                break;
+                            }
+                        }
+                        false
+                    }
+                };
+                if enqueued {
+                    inner.queue_signal.notify_one();
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => {
+                // Transient accept errors (ECONNABORTED etc.): back off
+                // briefly and keep serving.
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+    // Wake every worker so the drain check runs even on an empty queue.
+    inner.queue_signal.notify_all();
+}
+
+/// Pops connections and processes them until shutdown *and* an empty
+/// queue — the drain guarantee lives in this loop condition.
+fn worker_loop(index: usize, inner: &Inner) {
+    loop {
+        let conn = {
+            let mut queue = match inner.queue.lock() {
+                Ok(q) => q,
+                Err(_) => return,
+            };
+            loop {
+                if let Some(conn) = queue.pop_front() {
+                    // Claim in-flight under the lock: shutdown_and_join
+                    // must never observe "queue empty, nothing in
+                    // flight" while a popped request is still pending.
+                    inner.in_flight.fetch_add(1, Ordering::SeqCst);
+                    break Some(conn);
+                }
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (q, _timeout) = match inner
+                    .queue_signal
+                    .wait_timeout(queue, Duration::from_millis(50))
+                {
+                    Ok(r) => r,
+                    Err(_) => return,
+                };
+                queue = q;
+            }
+        };
+        let Some(mut conn) = conn else { return };
+
+        // Workers beyond the primary lease a slot from the shared
+        // budget before doing any work, so service load and sweep load
+        // together never exceed the configured thread count. The
+        // primary (index 0) runs lease-free: guaranteed progress, no
+        // deadlock when sweeps hold the entire budget.
+        let _lease = if index == 0 {
+            None
+        } else {
+            let mut lease = rayon::try_lease_worker();
+            while lease.is_none() {
+                std::thread::sleep(Duration::from_micros(200));
+                lease = rayon::try_lease_worker();
+            }
+            lease
+        };
+        handle_connection(&mut conn, inner);
+        inner.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Canonical endpoint label for the request log.
+fn endpoint_label(req: &Request) -> String {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz")
+        | ("GET", "/stats")
+        | ("POST", "/run")
+        | ("POST", "/sweep")
+        | ("POST", "/shutdown") => format!("{} {}", req.method, req.path),
+        _ => "(unmatched)".to_string(),
+    }
+}
+
+/// Reads one request, routes it, writes one response, records it.
+fn handle_connection(conn: &mut TcpStream, inner: &Inner) {
+    // A peer that stalls mid-request must not pin a worker forever.
+    let _ = conn.set_read_timeout(Some(Duration::from_secs(30)));
+    let started = Instant::now();
+    let (label, status, body) = match read_request(conn) {
+        Ok(req) => {
+            let label = endpoint_label(&req);
+            let (status, body) = route(&req, inner);
+            (label, status, body)
+        }
+        Err(e) => {
+            let (status, kind) = match &e {
+                HttpError::BadRequest(_) => (400, "bad_request"),
+                HttpError::PayloadTooLarge(_) => (413, "payload_too_large"),
+                HttpError::Incomplete(_) => (408, "bad_request"),
+            };
+            let body = api::error_body(kind, &e.to_string(), None, None);
+            ("(unparsed)".to_string(), status, body)
+        }
+    };
+    let _ = write_json_response(conn, status, &body);
+    let latency_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    inner.log.record(&label, status, latency_us);
+}
+
+/// Routes one parsed request to its handler.
+fn route(req: &Request, inner: &Inner) -> (u16, String) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => (200, "{\n  \"status\": \"ok\"\n}".to_string()),
+        ("GET", "/stats") => stats_response(inner),
+        ("POST", "/run") => match parse_body::<api::RunRequest>(&req.body) {
+            Ok(run_req) => match api::run_body(&run_req) {
+                Ok(body) => (200, body),
+                Err(e) => api::sim_error_response(&e),
+            },
+            Err(resp) => resp,
+        },
+        ("POST", "/sweep") => match parse_body::<api::SweepRequest>(&req.body) {
+            Ok(sweep_req) => match api::sweep_body(&sweep_req) {
+                Ok(body) => (200, body),
+                Err(e) => api::sim_error_response(&e),
+            },
+            Err(resp) => resp,
+        },
+        ("POST", "/shutdown") => {
+            inner.shutdown_requested.store(true, Ordering::SeqCst);
+            (200, "{\n  \"status\": \"draining\"\n}".to_string())
+        }
+        ("GET" | "POST", _) => (
+            404,
+            api::error_body(
+                "not_found",
+                &format!("no such endpoint: {}", req.path),
+                None,
+                None,
+            ),
+        ),
+        (method, _) => (
+            405,
+            api::error_body(
+                "method_not_allowed",
+                &format!("method {method} is not supported"),
+                None,
+                None,
+            ),
+        ),
+    }
+}
+
+/// Parses a JSON request body into `T`, mapping failure to a 400 with a
+/// typed `bad_request` body.
+fn parse_body<T: Deserialize>(body: &[u8]) -> Result<T, (u16, String)> {
+    serde_json::from_slice::<T>(body).map_err(|e| {
+        (
+            400,
+            api::error_body(
+                "bad_request",
+                &format!("invalid JSON body: {e}"),
+                None,
+                None,
+            ),
+        )
+    })
+}
+
+/// Builds the `GET /stats` body.
+fn stats_response(inner: &Inner) -> (u16, String) {
+    let stats = StatsBody {
+        workers: inner.workers,
+        threads: rayon::current_num_threads(),
+        queue_depth: inner.options.queue_depth,
+        in_flight: inner.in_flight.load(Ordering::SeqCst),
+        rejected_overload: inner.rejected_overload.load(Ordering::Relaxed),
+        trace_cache: global_trace_cache().stats(),
+        hot_path: hot_path_totals(),
+        requests: inner.log.snapshot(),
+    };
+    match serde_json::to_string_pretty(&stats) {
+        Ok(body) => (200, body),
+        Err(e) => (
+            500,
+            api::error_body(
+                "faulted",
+                &format!("cannot serialize stats: {e}"),
+                None,
+                None,
+            ),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Value;
+    use std::io::{Read as _, Write as _};
+
+    fn request(addr: SocketAddr, raw: &str) -> (u16, String) {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.write_all(raw.as_bytes()).unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        let status: u16 = response
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap();
+        let body = response
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    fn post(addr: SocketAddr, path: &str, json: &str) -> (u16, String) {
+        request(
+            addr,
+            &format!(
+                "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{json}",
+                json.len()
+            ),
+        )
+    }
+
+    #[test]
+    fn serves_health_run_stats_and_typed_errors() {
+        let handle = serve(ServeOptions::default()).unwrap();
+        let addr = handle.local_addr();
+
+        let (status, body) = request(addr, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"ok\""));
+
+        let (status, body) = post(addr, "/run", r#"{"days": 2, "nodes": 600}"#);
+        assert_eq!(status, 200, "{body}");
+        let expected = api::run_body(&api::RunRequest {
+            days: 2,
+            nodes: 600,
+            ..api::RunRequest::default()
+        })
+        .unwrap();
+        assert_eq!(body, expected, "service body must equal the handler body");
+
+        // Malformed JSON: typed bad_request.
+        let (status, body) = post(addr, "/run", "{not json");
+        assert_eq!(status, 400);
+        let v: Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v["error"]["kind"].as_str(), Some("bad_request"));
+
+        // Unknown field: also a typed 400.
+        let (status, _) = post(addr, "/run", r#"{"dayz": 2}"#);
+        assert_eq!(status, 400);
+
+        // Config rejection: typed config error naming the field.
+        let (status, body) = post(addr, "/run", r#"{"days": 0}"#);
+        assert_eq!(status, 400);
+        let v: Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v["error"]["kind"].as_str(), Some("config"));
+
+        let (status, _) = request(addr, "GET /nope HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 404);
+        let (status, _) = request(addr, "PUT /run HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 405);
+
+        let (status, body) = request(addr, "GET /stats HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 200);
+        let v: Value = serde_json::from_str(&body).unwrap();
+        assert!(v["trace_cache"].as_object().is_some());
+        assert!(v["hot_path"].as_object().is_some());
+        let endpoints = v["requests"].as_array().unwrap();
+        assert!(
+            endpoints
+                .iter()
+                .any(|e| e["endpoint"].as_str() == Some("POST /run")),
+            "stats must list the /run endpoint: {body}"
+        );
+
+        handle.shutdown_and_join();
+    }
+
+    #[test]
+    fn shutdown_endpoint_latches_the_request_flag() {
+        let handle = serve(ServeOptions::default()).unwrap();
+        let addr = handle.local_addr();
+        assert!(!handle.shutdown_requested());
+        let (status, body) = post(addr, "/shutdown", "");
+        assert_eq!(status, 200);
+        assert!(body.contains("draining"));
+        assert!(handle.shutdown_requested());
+        handle.shutdown_and_join();
+    }
+}

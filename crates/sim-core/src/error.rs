@@ -236,6 +236,40 @@ pub fn ensure_ordered(
     }
 }
 
+/// Parses the raw text of an environment knob as a non-negative
+/// integer, producing a typed [`ConfigError`] (context `"env"`, field =
+/// the variable name) on anything unparseable — `two`, `-1`, `1.5`,
+/// an empty string. Pure so it can be unit-tested without touching the
+/// process environment; [`env_knob_usize`] adds the lookup.
+pub fn parse_env_usize(name: &str, raw: &str) -> Result<usize, ConfigError> {
+    raw.trim().parse::<usize>().map_err(|_| {
+        ConfigError::new(
+            "env",
+            name,
+            format!("must be a non-negative integer, got {raw:?}"),
+        )
+    })
+}
+
+/// Strictly reads an environment knob: `Ok(None)` when unset,
+/// `Ok(Some(n))` when set to a non-negative integer, and a typed
+/// [`ConfigError`] when set to anything else (including non-unicode
+/// values). Boundary code (CLI startup, service startup) should call
+/// this and fail loudly instead of silently falling back to a default —
+/// a knob the operator *tried* to set and got wrong must never be
+/// ignored.
+pub fn env_knob_usize(name: &str) -> Result<Option<usize>, ConfigError> {
+    match std::env::var(name) {
+        Ok(raw) => parse_env_usize(name, &raw).map(Some),
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(_)) => Err(ConfigError::new(
+            "env",
+            name,
+            "must be a non-negative integer, got non-unicode bytes",
+        )),
+    }
+}
+
 /// Requires an integer count to be at least `min`.
 pub fn ensure_at_least(
     context: &str,
@@ -258,6 +292,21 @@ pub fn ensure_at_least(
 mod tests {
     use super::*;
     use std::error::Error as _;
+
+    #[test]
+    fn env_knob_parsing_is_strict() {
+        assert_eq!(parse_env_usize("SUSTAIN_THREADS", "4"), Ok(4));
+        assert_eq!(parse_env_usize("SUSTAIN_THREADS", " 0 "), Ok(0));
+        for bad in ["two", "-1", "1.5", "", "0x10", "4 threads"] {
+            let err = parse_env_usize("SUSTAIN_THREADS", bad).unwrap_err();
+            assert_eq!(err.context, "env");
+            assert_eq!(err.field, "SUSTAIN_THREADS");
+            assert!(
+                err.to_string().contains("non-negative integer"),
+                "{bad:?}: {err}"
+            );
+        }
+    }
 
     #[test]
     fn config_error_display_and_fields() {

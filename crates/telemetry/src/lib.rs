@@ -17,6 +17,7 @@ pub mod feed;
 pub mod incentive;
 pub mod project;
 pub mod report;
+pub mod requests;
 pub mod sensor;
 
 pub use accounting::{aggregate_by_user, profile_job, site_account, JobCarbonProfile};
@@ -24,4 +25,5 @@ pub use carbon500::{rank, Carbon500Entry, Carbon500Row};
 pub use feed::feed_from_records;
 pub use incentive::{ElasticityModel, IncentiveScheme, JobBill};
 pub use report::{render, to_text, JobReport};
+pub use requests::{EndpointSnapshot, RequestLog};
 pub use sensor::{Reading, Sensor, SensorTree};

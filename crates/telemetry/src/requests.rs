@@ -1,0 +1,192 @@
+//! Per-endpoint request accounting for long-running front-ends.
+//!
+//! The service front-end (§3.4 envisions user-facing carbon accounting
+//! as an always-on *service*, not a one-shot report) needs the same
+//! operational-data treatment this crate gives jobs: how many requests
+//! each endpoint served, how many failed, and how long they took. A
+//! [`RequestLog`] is a small, lock-cheap registry of per-endpoint
+//! counters plus a fixed-bucket latency histogram, snapshot-able as
+//! serializable rows for a stats endpoint.
+//!
+//! Counters are atomics and the registry map is only locked to resolve
+//! an endpoint label to its `Arc`, so recording is cheap enough to sit
+//! on every request path.
+
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Upper bounds (inclusive, microseconds) of the latency histogram
+/// buckets; a final unbounded bucket catches everything slower. The
+/// spacing is roughly geometric: sub-millisecond health checks land in
+/// the first buckets, multi-second scenario runs in the last.
+pub const LATENCY_BUCKET_BOUNDS_US: [u64; 12] = [
+    250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 1_000_000, 5_000_000,
+];
+
+/// Number of histogram buckets (the bounds above plus the overflow
+/// bucket).
+pub const LATENCY_BUCKETS: usize = LATENCY_BUCKET_BOUNDS_US.len() + 1;
+
+/// Live (atomic) counters for one endpoint.
+#[derive(Debug, Default)]
+struct EndpointCounters {
+    requests: AtomicU64,
+    /// Responses with a 4xx status (client errors: malformed JSON,
+    /// rejected configs, unknown routes, overload shedding).
+    errors_4xx: AtomicU64,
+    /// Responses with a 5xx status (faulted work units).
+    errors_5xx: AtomicU64,
+    total_us: AtomicU64,
+    max_us: AtomicU64,
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl EndpointCounters {
+    fn record(&self, status: u16, latency_us: u64) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if (400..500).contains(&status) {
+            self.errors_4xx.fetch_add(1, Ordering::Relaxed);
+        } else if status >= 500 {
+            self.errors_5xx.fetch_add(1, Ordering::Relaxed);
+        }
+        self.total_us.fetch_add(latency_us, Ordering::Relaxed);
+        self.max_us.fetch_max(latency_us, Ordering::Relaxed);
+        let idx = LATENCY_BUCKET_BOUNDS_US
+            .iter()
+            .position(|&bound| latency_us <= bound)
+            .unwrap_or(LATENCY_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// One latency-histogram bucket in a snapshot: the count of requests
+/// that completed in at most `le_us` microseconds (exclusive of faster
+/// buckets). `le_us == u64::MAX` marks the overflow bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct BucketCount {
+    /// Inclusive upper bound of the bucket, microseconds.
+    pub le_us: u64,
+    /// Requests that landed in this bucket.
+    pub count: u64,
+}
+
+/// Serializable snapshot of one endpoint's counters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct EndpointSnapshot {
+    /// Endpoint label (e.g. `"POST /run"`).
+    pub endpoint: String,
+    /// Total requests recorded.
+    pub requests: u64,
+    /// Responses with a 4xx status.
+    pub errors_4xx: u64,
+    /// Responses with a 5xx status.
+    pub errors_5xx: u64,
+    /// Sum of all request latencies, microseconds.
+    pub total_us: u64,
+    /// Slowest request, microseconds.
+    pub max_us: u64,
+    /// Latency histogram (fixed bounds, then one overflow bucket).
+    pub latency: Vec<BucketCount>,
+}
+
+/// Per-endpoint request counters and latency histograms for one
+/// front-end instance (each server owns its own log, so tests running
+/// several servers in one process do not bleed into each other).
+#[derive(Debug, Default)]
+pub struct RequestLog {
+    endpoints: Mutex<BTreeMap<String, Arc<EndpointCounters>>>,
+}
+
+impl RequestLog {
+    /// Creates an empty log.
+    pub fn new() -> RequestLog {
+        RequestLog::default()
+    }
+
+    /// Records one completed request against `endpoint`.
+    pub fn record(&self, endpoint: &str, status: u16, latency_us: u64) {
+        let counters = {
+            let mut map = self.endpoints.lock();
+            match map.get(endpoint) {
+                Some(c) => Arc::clone(c),
+                None => {
+                    let c = Arc::new(EndpointCounters::default());
+                    map.insert(endpoint.to_string(), Arc::clone(&c));
+                    c
+                }
+            }
+        };
+        counters.record(status, latency_us);
+    }
+
+    /// Snapshot of every endpoint seen so far, sorted by endpoint label
+    /// (BTreeMap order) so serialized output is stable.
+    pub fn snapshot(&self) -> Vec<EndpointSnapshot> {
+        let map = self.endpoints.lock();
+        map.iter()
+            .map(|(endpoint, c)| EndpointSnapshot {
+                endpoint: endpoint.clone(),
+                requests: c.requests.load(Ordering::Relaxed),
+                errors_4xx: c.errors_4xx.load(Ordering::Relaxed),
+                errors_5xx: c.errors_5xx.load(Ordering::Relaxed),
+                total_us: c.total_us.load(Ordering::Relaxed),
+                max_us: c.max_us.load(Ordering::Relaxed),
+                latency: LATENCY_BUCKET_BOUNDS_US
+                    .iter()
+                    .copied()
+                    .chain(std::iter::once(u64::MAX))
+                    .zip(c.buckets.iter())
+                    .map(|(le_us, bucket)| BucketCount {
+                        le_us,
+                        count: bucket.load(Ordering::Relaxed),
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_counts_statuses_and_buckets() {
+        let log = RequestLog::new();
+        log.record("POST /run", 200, 1_200);
+        log.record("POST /run", 400, 100);
+        log.record("POST /run", 500, 7_000_000);
+        log.record("GET /healthz", 200, 50);
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 2);
+        // BTreeMap order: GET before POST.
+        assert_eq!(snap[0].endpoint, "GET /healthz");
+        let run = &snap[1];
+        assert_eq!(run.requests, 3);
+        assert_eq!(run.errors_4xx, 1);
+        assert_eq!(run.errors_5xx, 1);
+        assert_eq!(run.max_us, 7_000_000);
+        assert_eq!(run.total_us, 1_200 + 100 + 7_000_000);
+        assert_eq!(run.latency.len(), LATENCY_BUCKETS);
+        // 100us -> first bucket (<=250), 1200us -> <=2500, 7s -> overflow.
+        assert_eq!(run.latency[0].count, 1);
+        assert_eq!(run.latency[3].count, 1);
+        assert_eq!(run.latency[LATENCY_BUCKETS - 1].count, 1);
+        assert_eq!(run.latency[LATENCY_BUCKETS - 1].le_us, u64::MAX);
+        let total: u64 = run.latency.iter().map(|b| b.count).sum();
+        assert_eq!(total, run.requests);
+    }
+
+    #[test]
+    fn snapshot_is_serializable_and_stable() {
+        let log = RequestLog::new();
+        log.record("GET /stats", 200, 400);
+        let a = serde_json::to_string(&log.snapshot()).unwrap();
+        let b = serde_json::to_string(&log.snapshot()).unwrap();
+        assert_eq!(a, b);
+        assert!(a.contains("\"endpoint\":\"GET /stats\""), "{a}");
+    }
+}

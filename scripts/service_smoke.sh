@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Smoke test for the experiment service: start `serve` on loopback,
+# exercise /healthz, /run, and /stats with curl, then shut down via
+# POST /shutdown while a request is in flight and assert the drain
+# completed (the in-flight request still got its full response).
+#
+# Usage: scripts/service_smoke.sh [path-to-sustain-hpc-binary]
+set -euo pipefail
+
+BIN="${1:-target/release/sustain-hpc}"
+ADDR="127.0.0.1:8725"
+BASE="http://$ADDR"
+WORKDIR="$(mktemp -d)"
+SERVER_PID=""
+
+cleanup() {
+    if [[ -n "$SERVER_PID" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
+        kill "$SERVER_PID" 2>/dev/null || true
+        wait "$SERVER_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "SMOKE FAIL: $*" >&2
+    exit 1
+}
+
+[[ -x "$BIN" ]] || fail "binary $BIN not found (build with: cargo build --release)"
+
+"$BIN" serve --addr "$ADDR" --threads 2 2>"$WORKDIR/server.log" &
+SERVER_PID=$!
+
+# Wait for the listener to come up.
+for _ in $(seq 1 100); do
+    if curl -sf "$BASE/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    kill -0 "$SERVER_PID" 2>/dev/null || fail "server exited early: $(cat "$WORKDIR/server.log")"
+    sleep 0.1
+done
+curl -sf "$BASE/healthz" | grep -q '"ok"' || fail "/healthz did not report ok"
+echo "healthz: ok"
+
+# /run twice: both must succeed and be byte-identical (same request,
+# same bytes — the determinism contract over HTTP).
+REQ='{"days": 2, "nodes": 600, "policy": "carbon"}'
+curl -sf -X POST -d "$REQ" "$BASE/run" >"$WORKDIR/run1.json" || fail "/run request 1 failed"
+curl -sf -X POST -d "$REQ" "$BASE/run" >"$WORKDIR/run2.json" || fail "/run request 2 failed"
+cmp "$WORKDIR/run1.json" "$WORKDIR/run2.json" || fail "identical /run requests returned different bytes"
+grep -q '"outcome"' "$WORKDIR/run1.json" || fail "/run body is missing the outcome"
+echo "run: deterministic"
+
+# Typed 400 on malformed JSON.
+STATUS=$(curl -s -o "$WORKDIR/bad.json" -w '%{http_code}' -X POST -d '{nope' "$BASE/run")
+[[ "$STATUS" == "400" ]] || fail "malformed JSON returned $STATUS, want 400"
+grep -q '"bad_request"' "$WORKDIR/bad.json" || fail "400 body is not typed: $(cat "$WORKDIR/bad.json")"
+echo "errors: typed"
+
+# /stats must reflect the traffic and expose the shared caches.
+curl -sf "$BASE/stats" >"$WORKDIR/stats.json" || fail "/stats failed"
+grep -q '"trace_cache"' "$WORKDIR/stats.json" || fail "/stats is missing trace_cache"
+grep -q '"hot_path"' "$WORKDIR/stats.json" || fail "/stats is missing hot_path"
+grep -q 'POST /run' "$WORKDIR/stats.json" || fail "/stats is not tracking POST /run"
+echo "stats: ok"
+
+# Graceful drain: fire a request in the background, ask for shutdown,
+# and require the in-flight request to still complete with a full body.
+curl -sf -X POST -d '{"days": 3}' "$BASE/run" >"$WORKDIR/inflight.json" &
+INFLIGHT_PID=$!
+sleep 0.2
+curl -sf -X POST "$BASE/shutdown" | grep -q '"draining"' || fail "/shutdown did not acknowledge"
+wait "$INFLIGHT_PID" || fail "in-flight request was dropped during shutdown"
+grep -q '"outcome"' "$WORKDIR/inflight.json" || fail "drained response is incomplete"
+
+# The server process itself must exit cleanly after the drain.
+for _ in $(seq 1 100); do
+    kill -0 "$SERVER_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$SERVER_PID" 2>/dev/null; then
+    fail "server did not exit after /shutdown"
+fi
+wait "$SERVER_PID" 2>/dev/null || fail "server exited nonzero"
+SERVER_PID=""
+grep -q "drained" "$WORKDIR/server.log" || fail "server log is missing the drain confirmation"
+echo "shutdown: drained cleanly"
+
+echo "SMOKE PASS"

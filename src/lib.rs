@@ -14,6 +14,7 @@ pub use sustain_grid as grid;
 pub use sustain_hpc_core as core;
 pub use sustain_power as power;
 pub use sustain_scheduler as scheduler;
+pub use sustain_service as service;
 pub use sustain_sim_core as sim_core;
 pub use sustain_telemetry as telemetry;
 pub use sustain_workload as workload;

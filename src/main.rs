@@ -7,12 +7,26 @@
 //! sustain-hpc <experiment> [--out DIR] [--seed N] [--days N] [--threads N] [--stats]
 //! sustain-hpc all --out results/
 //! sustain-hpc list
+//! sustain-hpc run [--request FILE]      # one scenario from a JSON request
+//! sustain-hpc sweep --request FILE      # one-axis sweep from a JSON request
+//! sustain-hpc serve [--addr HOST:PORT] [--max-inflight N] [--queue-depth N]
 //! ```
 //!
 //! Sweep parallelism: `--threads N` (or the `SUSTAIN_THREADS` environment
 //! variable; the flag wins) caps the worker threads used by the
 //! experiment sweep driver. `0` or unset = all hardware threads. Output
 //! is bit-for-bit identical at every thread count.
+//!
+//! `run` and `sweep` print exactly the body the service's `POST /run` /
+//! `POST /sweep` endpoints return (plus a trailing newline) — the CLI
+//! and the server call the same handlers. `serve` runs until SIGINT,
+//! SIGTERM, or `POST /shutdown`, then drains in-flight requests before
+//! exiting.
+//!
+//! Environment knobs (`SUSTAIN_THREADS`, `SUSTAIN_PAR_PENDING_MIN`,
+//! `SUSTAIN_TRACE_CACHE_CAP`) are parsed strictly at startup: an
+//! invalid value is a typed error and a non-zero exit, never a silent
+//! fallback.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -64,6 +78,14 @@ struct Args {
     days: usize,
     threads: Option<usize>,
     stats: bool,
+    /// `run`/`sweep`: path of the JSON request body.
+    request: Option<PathBuf>,
+    /// `serve`: bind address.
+    addr: String,
+    /// `serve`: concurrent request cap.
+    max_inflight: usize,
+    /// `serve`: accept-queue bound before 429s.
+    queue_depth: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -74,6 +96,10 @@ fn parse_args() -> Result<Args, String> {
     let mut days = 14usize;
     let mut threads = None;
     let mut stats = false;
+    let mut request = None;
+    let mut addr = "127.0.0.1:8725".to_string();
+    let mut max_inflight = 4usize;
+    let mut queue_depth = 16usize;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--out" => {
@@ -96,6 +122,27 @@ fn parse_args() -> Result<Args, String> {
                 threads = Some(v.parse().map_err(|_| format!("bad threads: {v}"))?);
             }
             "--stats" => stats = true,
+            "--request" => {
+                let v = args.next().ok_or("--request needs a file path")?;
+                request = Some(PathBuf::from(v));
+            }
+            "--addr" => {
+                addr = args.next().ok_or("--addr needs HOST:PORT")?;
+            }
+            "--max-inflight" => {
+                let v = args.next().ok_or("--max-inflight needs a value")?;
+                max_inflight = v.parse().map_err(|_| format!("bad max-inflight: {v}"))?;
+                if max_inflight == 0 {
+                    return Err("--max-inflight must be at least 1".into());
+                }
+            }
+            "--queue-depth" => {
+                let v = args.next().ok_or("--queue-depth needs a value")?;
+                queue_depth = v.parse().map_err(|_| format!("bad queue-depth: {v}"))?;
+                if queue_depth == 0 {
+                    return Err("--queue-depth must be at least 1".into());
+                }
+            }
             other => return Err(format!("unknown flag: {other}")),
         }
     }
@@ -106,7 +153,57 @@ fn parse_args() -> Result<Args, String> {
         days,
         threads,
         stats,
+        request,
+        addr,
+        max_inflight,
+        queue_depth,
     })
+}
+
+/// Reads the `--request` body (defaults to `{}`, i.e. the baseline
+/// request) and parses it as `T`.
+fn load_request<T: serde::Deserialize>(path: &Option<PathBuf>) -> Result<T, String> {
+    let raw = match path {
+        Some(p) => {
+            fs::read_to_string(p).map_err(|e| format!("cannot read {}: {e}", p.display()))?
+        }
+        None => "{}".to_string(),
+    };
+    serde_json::from_str(&raw).map_err(|e| format!("invalid request body: {e}"))
+}
+
+/// Strict startup parsing of every environment knob: an invalid value
+/// is a typed error, not a silent fallback.
+fn init_env_knobs() -> Result<(), String> {
+    sustain_hpc::core::sweep::init_threads_from_env().map_err(|e| e.to_string())?;
+    sustain_hpc::scheduler::sim::init_par_pending_min_from_env().map_err(|e| e.to_string())?;
+    sustain_hpc::core::sweep::init_trace_cache_cap_from_env().map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+/// The `serve` subcommand: run until SIGINT/SIGTERM or `POST /shutdown`,
+/// then drain and exit.
+fn serve_forever(args: &Args) -> Result<(), String> {
+    sustain_hpc::service::signal::install();
+    let options = sustain_hpc::service::ServeOptions {
+        addr: args.addr.clone(),
+        max_inflight: args.max_inflight,
+        queue_depth: args.queue_depth,
+    };
+    let handle = sustain_hpc::service::serve(options)
+        .map_err(|e| format!("cannot bind {}: {e}", args.addr))?;
+    eprintln!(
+        "serving on http://{} ({} thread budget); stop with SIGINT or POST /shutdown",
+        handle.local_addr(),
+        sustain_hpc::core::sweep::effective_threads()
+    );
+    while !sustain_hpc::service::signal::triggered() && !handle.shutdown_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    eprintln!("shutting down: draining in-flight requests");
+    handle.shutdown_and_join();
+    eprintln!("drained; all accepted requests were answered");
+    Ok(())
 }
 
 fn write_json<T: serde::Serialize>(
@@ -279,12 +376,15 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: sustain-hpc <experiment|all|list> [--out DIR] [--seed N] [--days N] [--threads N] [--stats]"
+                "usage: sustain-hpc <experiment|all|list|run|sweep|serve> [--out DIR] [--seed N] [--days N] [--threads N] [--stats] [--request FILE] [--addr HOST:PORT] [--max-inflight N] [--queue-depth N]"
             );
             return ExitCode::FAILURE;
         }
     };
-    sustain_hpc::core::sweep::init_threads_from_env();
+    if let Err(e) = init_env_knobs() {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
     if let Some(n) = args.threads {
         sustain_hpc::core::sweep::set_threads(n);
     }
@@ -314,6 +414,37 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
+        "run" => match load_request::<sustain_hpc::service::RunRequest>(&args.request)
+            .and_then(|req| sustain_hpc::service::run_body(&req).map_err(|e| e.to_string()))
+        {
+            Ok(body) => {
+                println!("{body}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "sweep" => match load_request::<sustain_hpc::service::SweepRequest>(&args.request)
+            .and_then(|req| sustain_hpc::service::sweep_body(&req).map_err(|e| e.to_string()))
+        {
+            Ok(body) => {
+                println!("{body}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "serve" => match serve_forever(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
         cmd => match run_one(cmd, &args) {
             Ok(()) => {
                 if args.stats {

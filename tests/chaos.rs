@@ -20,7 +20,7 @@ use sustain_hpc::sim_core::units::Power;
 fn parallelism_init() {
     static INIT: std::sync::Once = std::sync::Once::new();
     INIT.call_once(|| {
-        sustain_hpc::core::sweep::init_threads_from_env();
+        sustain_hpc::core::sweep::init_threads_from_env().expect("valid SUSTAIN_THREADS in CI");
         sustain_hpc::scheduler::sim::set_par_pending_min(0);
     });
 }

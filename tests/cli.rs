@@ -111,6 +111,72 @@ fn degenerate_days_yield_typed_error() {
 }
 
 #[test]
+fn invalid_env_knobs_are_rejected_with_typed_errors() {
+    for (var, val) in [
+        ("SUSTAIN_THREADS", "two"),
+        ("SUSTAIN_THREADS", "-1"),
+        ("SUSTAIN_THREADS", "1.5"),
+        ("SUSTAIN_PAR_PENDING_MIN", "abc"),
+        ("SUSTAIN_TRACE_CACHE_CAP", "0x10"),
+    ] {
+        let out = bin().arg("list").env(var, val).output().unwrap();
+        assert!(
+            !out.status.success(),
+            "{var}={val} must be rejected, not silently ignored"
+        );
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(
+            err.contains("error:") && err.contains(var),
+            "{var}={val}: stderr must name the variable, was {err:?}"
+        );
+        assert!(!err.contains("panicked"), "{var}={val} panicked: {err}");
+    }
+}
+
+#[test]
+fn valid_env_knobs_are_accepted() {
+    let out = bin()
+        .arg("list")
+        .env("SUSTAIN_THREADS", "2")
+        .env("SUSTAIN_PAR_PENDING_MIN", "64")
+        .env("SUSTAIN_TRACE_CACHE_CAP", "8")
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "valid knobs must not fail: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn run_subcommand_defaults_and_rejects_bad_requests() {
+    // `run` with no --request uses the baseline request and prints JSON.
+    let out = bin().arg("run").output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("stdout is pure JSON");
+    assert!(v["outcome"].as_object().is_some());
+
+    // A malformed request file is a typed error, not a panic.
+    let file = std::env::temp_dir().join(format!("sustain-cli-badreq-{}.json", std::process::id()));
+    std::fs::write(&file, br#"{"dayz": 3}"#).unwrap();
+    let out = bin()
+        .args(["run", "--request"])
+        .arg(&file)
+        .output()
+        .unwrap();
+    std::fs::remove_file(&file).ok();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("error:") && err.contains("dayz"), "{err:?}");
+    assert!(!err.contains("panicked"), "panicked: {err}");
+}
+
+#[test]
 fn missing_command_prints_usage() {
     let out = bin().output().unwrap();
     assert!(!out.status.success());

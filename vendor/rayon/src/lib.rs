@@ -102,6 +102,7 @@ static EXTRA_IN_USE: AtomicUsize = AtomicUsize::new(0);
 
 /// A lease on `extra` worker threads, returned to the budget on drop
 /// (including unwinds, so a panicking pipeline cannot strand permits).
+#[derive(Debug)]
 struct Lease {
     extra: usize,
 }
@@ -153,6 +154,33 @@ pub fn available_extra_workers() -> usize {
     current_num_threads()
         .saturating_sub(1)
         .saturating_sub(EXTRA_IN_USE.load(AtomicOrdering::Relaxed))
+}
+
+/// RAII hold on exactly one extra worker from the process-wide budget
+/// (shim extension, not upstream API). While alive, parallel pipelines
+/// anywhere in the process see one less spare worker — this is how a
+/// long-running service counts its concurrently-processing request
+/// threads against the same budget that funds sweep fan-out and
+/// in-scenario speculation, so concurrency never oversubscribes the
+/// configured thread count. Dropping the lease (including on unwind)
+/// returns the worker to the budget.
+#[derive(Debug)]
+pub struct WorkerLease {
+    _lease: Lease,
+}
+
+/// Tries to lease one extra worker from the process-wide budget.
+/// Returns `None` when the budget is exhausted (single-threaded
+/// configuration, or every spare worker is held by in-flight pipelines
+/// or other leases); callers that must make progress anyway should run
+/// inline on a thread that does not hold a lease.
+pub fn try_lease_worker() -> Option<WorkerLease> {
+    let lease = Lease::acquire(1);
+    if lease.extra == 1 {
+        Some(WorkerLease { _lease: lease })
+    } else {
+        None
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -566,5 +594,24 @@ mod tests {
     #[test]
     fn available_extra_workers_is_within_budget() {
         assert!(super::available_extra_workers() <= super::current_num_threads().saturating_sub(1));
+    }
+
+    #[test]
+    fn worker_leases_draw_down_the_budget_and_restore_on_drop() {
+        // Serialize against other budget-touching tests by grabbing the
+        // whole budget: lease until exhaustion, then verify restore.
+        let mut held = Vec::new();
+        while let Some(lease) = super::try_lease_worker() {
+            held.push(lease);
+            assert!(held.len() <= super::current_num_threads().saturating_sub(1));
+        }
+        // Budget exhausted: nothing more to lease, pipelines degrade to
+        // inline execution but still produce ordered results.
+        assert!(super::try_lease_worker().is_none());
+        let out: Vec<u64> = (0u64..64).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0u64..64).map(|x| x * 2).collect::<Vec<_>>());
+        let before = super::available_extra_workers();
+        drop(held);
+        assert!(super::available_extra_workers() >= before);
     }
 }

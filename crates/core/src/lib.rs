@@ -42,17 +42,20 @@ pub mod scenario;
 pub mod site;
 pub mod sweep;
 
-pub use scenario::{run, try_run, Scenario, ScenarioResult};
+pub use scenario::{run, run_with_ctl, try_run, try_run_with_ctl, Scenario, ScenarioResult};
 pub use site::{lifetime_report, LifetimeCarbonReport, Site};
 
 /// Convenience prelude: the most commonly used items across the
 /// workspace.
 pub mod prelude {
     pub use crate::experiments::*;
-    pub use crate::scenario::{run, try_run, Scenario, ScenarioResult};
+    pub use crate::scenario::{
+        run, run_with_ctl, try_run, try_run_with_ctl, Scenario, ScenarioResult,
+    };
     pub use crate::site::{lifetime_report, LifetimeCarbonReport, Site};
     pub use crate::sweep::{
-        calibrated_trace, set_threads, sweep, sweep_seeded, try_sweep, try_sweep_seeded, PointError,
+        calibrated_trace, set_threads, sweep, sweep_seeded, try_sweep, try_sweep_resumable,
+        try_sweep_seeded, try_sweep_seeded_with_ctl, PointError,
     };
     pub use sustain_carbon_model::metrics::DesignMetric;
     pub use sustain_carbon_model::system::SystemInventory;
@@ -63,6 +66,7 @@ pub mod prelude {
     pub use sustain_power::carbon_scaler::ScalingPolicy;
     pub use sustain_scheduler::cluster::Cluster;
     pub use sustain_scheduler::sim::{simulate, CarbonAwareCfg, CheckpointCfg, Policy, SimConfig};
+    pub use sustain_sim_core::ctl::{CancelToken, Deadline, RunCtl};
     pub use sustain_sim_core::error::{ConfigError, SimError, Validate};
     pub use sustain_sim_core::time::{SimDuration, SimTime};
     pub use sustain_sim_core::units::{Carbon, CarbonIntensity, Energy, Power};

@@ -15,9 +15,10 @@ use sustain_power::carbon_scaler::ScalingPolicy;
 use sustain_power::pue::PueModel;
 use sustain_scheduler::cluster::Cluster;
 use sustain_scheduler::metrics::SimOutcome;
-use sustain_scheduler::sim::{simulate, CheckpointCfg, Policy, SimConfig};
+use sustain_scheduler::sim::{simulate, simulate_with_ctl, CheckpointCfg, Policy, SimConfig};
+use sustain_sim_core::ctl::RunCtl;
 use sustain_sim_core::error::{ensure_at_least, ConfigError, SimError, Validate};
-use sustain_sim_core::time::SimDuration;
+use sustain_sim_core::time::{SimDuration, SimTime};
 use sustain_sim_core::units::Carbon;
 use sustain_telemetry::accounting::{profile_job, site_account, JobCarbonProfile, SiteAccount};
 use sustain_workload::synth::{generate, WorkloadConfig};
@@ -117,6 +118,27 @@ pub struct ScenarioResult {
 
 /// Runs a scenario.
 pub fn run(scenario: &Scenario) -> ScenarioResult {
+    match run_inner(scenario, None) {
+        Ok(result) => result,
+        // With no control attached there is no cancellation point, and
+        // the `scenario::run` fault site is infallible (panic-escalating).
+        Err(_) => unreachable!("uncontrolled scenario run cannot be cancelled"),
+    }
+}
+
+/// [`run`] under a cooperative cancellation control: checks `ctl`
+/// before the (potentially cache-filling) trace generation and at
+/// bucket granularity inside the event loop, returning a typed
+/// [`SimError::Cancelled`] stamped with the simulation time reached.
+pub fn run_with_ctl(scenario: &Scenario, ctl: &RunCtl) -> Result<ScenarioResult, SimError> {
+    run_inner(scenario, Some(ctl))
+}
+
+fn run_inner(scenario: &Scenario, ctl: Option<&RunCtl>) -> Result<ScenarioResult, SimError> {
+    sustain_sim_core::faultpoint!(infallible "scenario::run");
+    if let Some(ctl) = ctl {
+        ctl.check(SimTime::ZERO)?;
+    }
     // Served from the process-wide trace cache: every point of a sweep
     // that shares this (region, days, seed) window reuses one trace.
     let trace = generate_calibrated_arc(&scenario.region, scenario.days, scenario.seed);
@@ -138,7 +160,11 @@ pub fn run(scenario: &Scenario) -> ScenarioResult {
         tick: SimDuration::from_hours(1.0),
         max_steps: 50_000_000,
     };
-    let outcome = simulate(&jobs, &cfg);
+    let outcome = match ctl {
+        Some(ctl) => simulate_with_ctl(&jobs, &cfg, ctl)?,
+        // No control: the event loop skips cancellation checks entirely.
+        None => simulate(&jobs, &cfg),
+    };
 
     let detector = GreenDetector::default();
     let profiles: Vec<JobCarbonProfile> = outcome
@@ -164,14 +190,14 @@ pub fn run(scenario: &Scenario) -> ScenarioResult {
     let facility_carbon = outcome.carbon * pue;
     let grid_mean_ci = trace.series().stats().mean();
 
-    ScenarioResult {
+    Ok(ScenarioResult {
         name: scenario.name.clone(),
         outcome,
         profiles,
         site,
         facility_carbon,
         grid_mean_ci,
-    }
+    })
 }
 
 /// Validated [`run`]: checks the scenario's whole configuration tree up
@@ -182,6 +208,13 @@ pub fn run(scenario: &Scenario) -> ScenarioResult {
 pub fn try_run(scenario: &Scenario) -> Result<ScenarioResult, SimError> {
     scenario.validate()?;
     Ok(run(scenario))
+}
+
+/// [`try_run`] with a cancellation control: validates up front, then
+/// runs under `ctl` like [`run_with_ctl`].
+pub fn try_run_with_ctl(scenario: &Scenario, ctl: &RunCtl) -> Result<ScenarioResult, SimError> {
+    scenario.validate()?;
+    run_with_ctl(scenario, ctl)
 }
 
 #[cfg(test)]

@@ -34,14 +34,20 @@
 //! oversubscribing the host (asserted in the vendored `rayon` shim's
 //! `nested_pipelines_share_the_budget_and_stay_ordered` test).
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
+use std::fs::File;
+use std::io::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use sustain_grid::region::RegionProfile;
 use sustain_grid::synth::generate_calibrated_arc;
 use sustain_grid::trace::CarbonTrace;
+use sustain_sim_core::ctl::RunCtl;
 use sustain_sim_core::error::{env_knob_usize, ConfigError, SimError};
 use sustain_sim_core::rng::RngStream;
+use sustain_sim_core::time::SimTime;
 
 use rayon::prelude::*;
 
@@ -242,6 +248,374 @@ where
         .collect()
 }
 
+/// Runs one point body under the sweep's fault boundary: the
+/// `sweep::point` fault site, then `catch_unwind` so a panic (organic
+/// or injected) becomes a typed [`SimError::Faulted`] for this point
+/// while every other point completes.
+fn run_point<R>(index: usize, body: impl FnOnce() -> Result<R, SimError>) -> Result<R, SimError> {
+    match catch_unwind(AssertUnwindSafe(|| {
+        sustain_sim_core::faultpoint!(infallible "sweep::point");
+        body()
+    })) {
+        Ok(result) => result,
+        Err(payload) => Err(SimError::from(PointError {
+            index,
+            message: panic_message(payload),
+        })),
+    }
+}
+
+/// Builds the outer [`SimError::Cancelled`] for a cancelled sweep,
+/// appending partial-progress stats to the reason. `at_sim_time` is
+/// zero: the sweep clock, not any single point's simulation clock.
+fn sweep_cancelled(reason: String, completed: usize, total: usize) -> SimError {
+    SimError::Cancelled {
+        at_sim_time: SimTime::ZERO,
+        reason: format!("{reason}; {completed}/{total} sweep points completed"),
+    }
+}
+
+/// Cancellable [`try_sweep_seeded`]: per-point deterministic sub-seeds
+/// and fault isolation, plus a cooperative cancellation control checked
+/// before every point (points already in flight finish or observe `ctl`
+/// themselves via the bucket checks inside the simulation loop).
+///
+/// The closure is fallible so each point can propagate its own typed
+/// [`SimError`] (a per-point cancellation, a validation failure) into
+/// its slot; panics are still caught and become
+/// [`SimError::Faulted`]. On cancellation the whole call returns
+/// [`SimError::Cancelled`] whose reason carries how many points
+/// completed. With an unlimited control and no failures this is
+/// bit-for-bit `try_sweep_seeded` modulo the error type.
+pub fn try_sweep_seeded_with_ctl<P, R, F>(
+    master_seed: u64,
+    points: &[P],
+    ctl: &RunCtl,
+    f: F,
+) -> Result<Vec<Result<R, SimError>>, SimError>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(&P, u64) -> Result<R, SimError> + Sync,
+{
+    let seeds: Vec<u64> = (0..points.len() as u64)
+        .map(|i| point_seed(master_seed, i))
+        .collect();
+    let completed = AtomicUsize::new(0);
+    let results: Vec<Result<R, SimError>> = (0..points.len())
+        .into_par_iter()
+        .map(|index| {
+            if let Some(reason) = ctl.cancelled_reason() {
+                return Err(SimError::Cancelled {
+                    at_sim_time: SimTime::ZERO,
+                    reason,
+                });
+            }
+            let result = run_point(index, || f(&points[index], seeds[index]));
+            if result.is_ok() {
+                completed.fetch_add(1, Ordering::Relaxed);
+            }
+            result
+        })
+        .collect();
+    match ctl.cancelled_reason() {
+        Some(reason) => Err(sweep_cancelled(
+            reason,
+            completed.load(Ordering::Relaxed),
+            points.len(),
+        )),
+        None => Ok(results),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Crash-resumable sweeps: the checkpoint journal
+// ---------------------------------------------------------------------------
+
+/// FNV-1a 64-bit, used to fingerprint journaled point payloads. Stable
+/// across platforms and already the idiom used by the trace cache key.
+fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn journal_io_error(action: &str, err: impl std::fmt::Display) -> SimError {
+    SimError::Faulted {
+        unit: "sweep journal".to_string(),
+        message: format!("{action}: {err}"),
+    }
+}
+
+/// Appends one completed point to the journal and fsyncs it: the line
+/// is only trusted on replay if its hash matches, so a torn final line
+/// from a crash mid-write is detected and re-run, never half-replayed.
+fn append_journal_entry(
+    file: &Mutex<File>,
+    index: usize,
+    seed: u64,
+    payload: Value,
+) -> Result<(), SimError> {
+    // Fault sites fire before taking the lock: a panic-mode fault must
+    // not poison the file mutex other points still append through.
+    sustain_sim_core::faultpoint!("sweep::journal_write").map_err(SimError::from)?;
+    let payload_json = serde_json::to_string(&payload)
+        .map_err(|e| journal_io_error("serializing journal payload", e))?;
+    let entry = Value::Object(vec![
+        ("index".to_string(), Value::U64(index as u64)),
+        ("seed".to_string(), Value::U64(seed)),
+        (
+            "hash".to_string(),
+            Value::Str(format!("{:016x}", fnv1a_64(payload_json.as_bytes()))),
+        ),
+        ("payload".to_string(), payload),
+    ]);
+    let line = serde_json::to_string(&entry)
+        .map_err(|e| journal_io_error("serializing journal entry", e))?;
+    sustain_sim_core::faultpoint!("sweep::journal_sync").map_err(SimError::from)?;
+    let mut guard = file.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    guard
+        .write_all(format!("{line}\n").as_bytes())
+        .map_err(|e| journal_io_error("appending journal line", e))?;
+    guard
+        .sync_data()
+        .map_err(|e| journal_io_error("fsyncing journal", e))
+}
+
+/// One validated line of the journal.
+fn parse_journal_line<R: Deserialize>(
+    line: &str,
+    points_len: usize,
+    seeds: &[u64],
+) -> Result<(usize, R), String> {
+    let value: Value = serde_json::from_str(line).map_err(|e| format!("unparseable JSON: {e}"))?;
+    let index = value["index"]
+        .as_u64()
+        .ok_or("missing or non-integer \"index\"")? as usize;
+    if index >= points_len {
+        return Err(format!(
+            "point index {index} out of range for a {points_len}-point sweep"
+        ));
+    }
+    let seed = value["seed"]
+        .as_u64()
+        .ok_or("missing or non-integer \"seed\"")?;
+    if seed != seeds[index] {
+        return Err(format!(
+            "seed {seed} at point {index} does not match this sweep's derived seed \
+             {} — the journal belongs to a different sweep",
+            seeds[index]
+        ));
+    }
+    let hash = value["hash"].as_str().ok_or("missing \"hash\"")?;
+    let payload = &value["payload"];
+    let payload_json =
+        serde_json::to_string(payload).map_err(|e| format!("payload re-serialization: {e}"))?;
+    let expected = format!("{:016x}", fnv1a_64(payload_json.as_bytes()));
+    if hash != expected {
+        return Err(format!(
+            "hash mismatch at point {index}: journal says {hash}, payload hashes to {expected}"
+        ));
+    }
+    let row = R::from_value(payload).map_err(|e| format!("payload at point {index}: {e:?}"))?;
+    Ok((index, row))
+}
+
+/// Replays a checkpoint journal: `replayed[i] = Some(row)` for every
+/// point with a valid journal line, plus the byte length of the valid
+/// prefix (everything up to and including the last parseable line). A
+/// missing file is an empty journal. The *final* line is allowed to be
+/// torn (a crash mid-append) and is simply re-run; any earlier
+/// malformed or mismatched line is a typed [`ConfigError`] — it means
+/// the journal belongs to a different sweep or was corrupted, and
+/// silently re-running would mask that.
+fn replay_journal<R: Deserialize>(
+    path: &Path,
+    points_len: usize,
+    seeds: &[u64],
+) -> Result<(Vec<Option<R>>, u64), SimError> {
+    sustain_sim_core::faultpoint!("sweep::journal_replay").map_err(SimError::from)?;
+    let mut replayed: Vec<Option<R>> = (0..points_len).map(|_| None).collect();
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((replayed, 0)),
+        Err(e) => return Err(journal_io_error("reading journal", e)),
+    };
+    // Each non-blank line paired with the byte offset just past it, so
+    // the caller can truncate a torn tail before appending.
+    let mut lines: Vec<(u64, &str)> = Vec::new();
+    let mut offset = 0u64;
+    for raw in text.split_inclusive('\n') {
+        offset += raw.len() as u64;
+        let line = raw.trim();
+        if !line.is_empty() {
+            lines.push((offset, line));
+        }
+    }
+    let mut valid_bytes = 0u64;
+    for (pos, (end, line)) in lines.iter().enumerate() {
+        match parse_journal_line::<R>(line, points_len, seeds) {
+            Ok((index, row)) => {
+                replayed[index] = Some(row);
+                valid_bytes = *end;
+            }
+            // A torn final line is the expected crash artifact; the
+            // point simply re-runs (and the tail is truncated away).
+            Err(_) if pos + 1 == lines.len() => {}
+            Err(message) => {
+                return Err(SimError::Config(ConfigError::new(
+                    "SweepJournal",
+                    format!("line {}", pos + 1),
+                    message,
+                )))
+            }
+        }
+    }
+    Ok((replayed, valid_bytes))
+}
+
+/// Crash-resumable [`try_sweep_seeded_with_ctl`]: every completed point
+/// is appended to an fsync'd JSON-lines journal at `journal_path`
+/// (index, derived seed, payload hash, payload), and points already in
+/// the journal are **replayed instead of re-run** — so a sweep killed
+/// mid-run and restarted with the same journal produces byte-identical
+/// results to an uninterrupted run (asserted by the kill-and-resume
+/// test in `tests/sweep_resume.rs`).
+///
+/// Failed points are *not* journaled: a resume retries them. The
+/// journal is validated against this sweep's derived seeds and payload
+/// hashes; a journal from a different sweep is a typed
+/// [`ConfigError`], not silent wrong results.
+pub fn try_sweep_resumable<P, R, F>(
+    master_seed: u64,
+    points: &[P],
+    journal_path: &Path,
+    ctl: &RunCtl,
+    f: F,
+) -> Result<Vec<Result<R, SimError>>, SimError>
+where
+    P: Sync,
+    R: Send + Serialize + Deserialize,
+    F: Fn(&P, u64) -> Result<R, SimError> + Sync,
+{
+    let seeds: Vec<u64> = (0..points.len() as u64)
+        .map(|i| point_seed(master_seed, i))
+        .collect();
+    // Replay runs inside the same fault boundary as appends: an
+    // injected (or organic) panic while reading the journal must
+    // surface as a typed error, not an unwind out of the sweep.
+    let (mut replayed, valid_bytes) = catch_unwind(AssertUnwindSafe(|| {
+        replay_journal::<R>(journal_path, points.len(), &seeds)
+    }))
+    .unwrap_or_else(|payload| {
+        Err(journal_io_error(
+            "journal replay panicked",
+            panic_message(payload),
+        ))
+    })?;
+    // A torn final line (crash mid-append) is re-run, so drop it from
+    // the file before appending: otherwise a *second* crash-and-resume
+    // would find the torn line mid-file and reject the journal as
+    // corrupted.
+    match std::fs::metadata(journal_path) {
+        Ok(meta) if meta.len() > valid_bytes => {
+            let file = std::fs::OpenOptions::new()
+                .write(true)
+                .open(journal_path)
+                .map_err(|e| journal_io_error("opening journal to drop a torn tail", e))?;
+            file.set_len(valid_bytes)
+                .map_err(|e| journal_io_error("truncating a torn journal tail", e))?;
+            file.sync_data()
+                .map_err(|e| journal_io_error("fsyncing a truncated journal", e))?;
+        }
+        _ => {}
+    }
+    let missing: Vec<usize> = (0..points.len())
+        .filter(|&i| replayed[i].is_none())
+        .collect();
+
+    let file = Mutex::new(
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(journal_path)
+            .map_err(|e| journal_io_error("opening journal", e))?,
+    );
+    let journal_failure: Mutex<Option<SimError>> = Mutex::new(None);
+    let completed = AtomicUsize::new(points.len() - missing.len());
+
+    let fresh: Vec<(usize, Result<R, SimError>)> = missing
+        .par_iter()
+        .map(|&index| {
+            if let Some(reason) = ctl.cancelled_reason() {
+                return (
+                    index,
+                    Err(SimError::Cancelled {
+                        at_sim_time: SimTime::ZERO,
+                        reason,
+                    }),
+                );
+            }
+            let result = run_point(index, || f(&points[index], seeds[index]));
+            if let Ok(row) = &result {
+                completed.fetch_add(1, Ordering::Relaxed);
+                // Journal appends run inside their own fault boundary:
+                // an injected panic here must stay isolated too.
+                let appended = catch_unwind(AssertUnwindSafe(|| {
+                    append_journal_entry(&file, index, seeds[index], row.to_value())
+                }))
+                .unwrap_or_else(|payload| {
+                    Err(journal_io_error(
+                        "journal append panicked",
+                        panic_message(payload),
+                    ))
+                });
+                if let Err(e) = appended {
+                    let mut slot = journal_failure
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                    if slot.is_none() {
+                        *slot = Some(e);
+                    }
+                }
+            }
+            (index, result)
+        })
+        .collect();
+
+    if let Some(e) = journal_failure
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+        .take()
+    {
+        return Err(e);
+    }
+    if let Some(reason) = ctl.cancelled_reason() {
+        return Err(sweep_cancelled(
+            reason,
+            completed.load(Ordering::Relaxed),
+            points.len(),
+        ));
+    }
+
+    let mut slots: Vec<Option<Result<R, SimError>>> =
+        replayed.iter_mut().map(|r| r.take().map(Ok)).collect();
+    for (index, result) in fresh {
+        slots[index] = Some(result);
+    }
+    Ok(slots
+        .into_iter()
+        .map(|slot| {
+            slot.unwrap_or_else(|| {
+                unreachable!("every sweep point is either replayed or freshly run")
+            })
+        })
+        .collect())
+}
+
 /// Calibrated carbon trace for `(profile, days, seed)`, served from the
 /// process-wide [`TraceCache`]: the first caller generates and
 /// calibrates, every later caller (any thread) gets the same `Arc`.
@@ -362,6 +736,219 @@ mod tests {
         assert_eq!(effective_threads(), 2);
         set_threads(0);
         assert!(effective_threads() >= 1);
+    }
+
+    #[test]
+    fn with_ctl_matches_try_sweep_seeded_when_unlimited() {
+        let points: Vec<u64> = (0..16).collect();
+        let ctl = RunCtl::unlimited();
+        let via_ctl = try_sweep_seeded_with_ctl(7, &points, &ctl, |&p, seed| Ok(p ^ seed))
+            .expect("unlimited ctl never cancels");
+        let plain = try_sweep_seeded(7, &points, |&p, seed| p ^ seed);
+        assert_eq!(via_ctl.len(), plain.len());
+        for (a, b) in via_ctl.iter().zip(plain.iter()) {
+            assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
+        }
+    }
+
+    #[test]
+    fn with_ctl_reports_partial_progress_on_cancellation() {
+        use sustain_sim_core::ctl::CancelToken;
+        let points: Vec<u64> = (0..8).collect();
+        let token = CancelToken::new();
+        token.cancel("shutdown requested");
+        let ctl = RunCtl::unlimited().with_token(token);
+        let err = try_sweep_seeded_with_ctl(7, &points, &ctl, |&p, _| Ok(p)).unwrap_err();
+        match &err {
+            SimError::Cancelled { reason, .. } => {
+                assert!(reason.contains("shutdown requested"), "{reason}");
+                assert!(reason.contains("/8 sweep points completed"), "{reason}");
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn with_ctl_isolates_panics_and_typed_errors_per_point() {
+        let points: Vec<u64> = (0..5).collect();
+        let ctl = RunCtl::unlimited();
+        let results = try_sweep_seeded_with_ctl(7, &points, &ctl, |&p, _| {
+            assert!(p != 1, "injected panic");
+            if p == 3 {
+                return Err(SimError::invalid_input("point three rejected"));
+            }
+            Ok(p)
+        })
+        .expect("no outer cancellation");
+        assert_eq!(results[0], Ok(0));
+        assert!(matches!(&results[1], Err(SimError::Faulted { .. })));
+        assert_eq!(results[2], Ok(2));
+        assert!(matches!(&results[3], Err(SimError::InvalidInput { .. })));
+        assert_eq!(results[4], Ok(4));
+    }
+
+    fn temp_journal(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "sustain-sweep-journal-{}-{tag}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn resumable_sweep_journals_and_replays_byte_identically() {
+        let path = temp_journal("roundtrip");
+        std::fs::remove_file(&path).ok();
+        let points: Vec<u64> = (0..6).collect();
+        let ctl = RunCtl::unlimited();
+        let f = |&p: &u64, seed: u64| Ok((p as f64 + 0.125) * (seed % 97) as f64 / 7.0);
+        let first = try_sweep_resumable(11, &points, &path, &ctl, f).expect("first run");
+        let journal = std::fs::read_to_string(&path).expect("journal exists");
+        assert_eq!(journal.lines().count(), points.len());
+        for line in journal.lines() {
+            let v: Value = serde_json::from_str(line).expect("journal line is JSON");
+            let index = v["index"].as_u64().expect("index");
+            assert_eq!(v["seed"].as_u64(), Some(point_seed(11, index)));
+        }
+        // Second run replays every point: same values, nothing re-run
+        // (the closure would panic if called again).
+        let replayed = try_sweep_resumable(
+            11,
+            &points,
+            &path,
+            &ctl,
+            |_: &u64, _| -> Result<f64, SimError> {
+                panic!("no point should re-run from a complete journal")
+            },
+        )
+        .expect("replay run");
+        let first_json = serde_json::to_string(
+            &first
+                .iter()
+                .map(|r| *r.as_ref().unwrap())
+                .collect::<Vec<f64>>(),
+        )
+        .unwrap();
+        let replay_json = serde_json::to_string(
+            &replayed
+                .iter()
+                .map(|r| *r.as_ref().unwrap())
+                .collect::<Vec<f64>>(),
+        )
+        .unwrap();
+        assert_eq!(first_json, replay_json, "replay must be byte-identical");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resumable_sweep_retries_failed_points_and_heals() {
+        let path = temp_journal("heal");
+        std::fs::remove_file(&path).ok();
+        let points: Vec<u64> = (0..5).collect();
+        let ctl = RunCtl::unlimited();
+        let broken = try_sweep_resumable(11, &points, &path, &ctl, |&p, seed| {
+            assert!(p != 2, "injected crash at point two");
+            Ok(p * 1000 + seed % 100)
+        })
+        .expect("run with one failed point");
+        assert!(broken[2].is_err());
+        let journal_lines = std::fs::read_to_string(&path).unwrap().lines().count();
+        assert_eq!(journal_lines, 4, "failed points are not journaled");
+        // Resume without the injected failure: only point 2 runs.
+        let reruns = AtomicUsize::new(0);
+        let healed = try_sweep_resumable(11, &points, &path, &ctl, |&p, seed| {
+            reruns.fetch_add(1, Ordering::Relaxed);
+            Ok(p * 1000 + seed % 100)
+        })
+        .expect("healing run");
+        assert_eq!(reruns.load(Ordering::Relaxed), 1);
+        let direct = try_sweep_seeded(11, &points, |&p, seed| p * 1000 + seed % 100);
+        for (h, d) in healed.iter().zip(direct.iter()) {
+            assert_eq!(h.as_ref().unwrap(), d.as_ref().unwrap());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_final_journal_line_is_rerun_not_an_error() {
+        let path = temp_journal("torn");
+        std::fs::remove_file(&path).ok();
+        let points: Vec<u64> = (0..3).collect();
+        let ctl = RunCtl::unlimited();
+        try_sweep_resumable(11, &points, &path, &ctl, |&p, _| Ok(p * 2)).expect("seed the journal");
+        // Tear the final line mid-write, as a crash would.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let torn: String = text[..text.len() - 20].to_string();
+        std::fs::write(&path, &torn).unwrap();
+        let reruns = AtomicUsize::new(0);
+        let resumed = try_sweep_resumable(11, &points, &path, &ctl, |&p, _| {
+            reruns.fetch_add(1, Ordering::Relaxed);
+            Ok(p * 2)
+        })
+        .expect("torn line tolerated");
+        assert_eq!(
+            reruns.load(Ordering::Relaxed),
+            1,
+            "only the torn point re-runs"
+        );
+        for (i, r) in resumed.iter().enumerate() {
+            assert_eq!(r.as_ref().unwrap(), &(i as u64 * 2));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_so_a_second_crash_still_resumes() {
+        let path = temp_journal("torn-twice");
+        std::fs::remove_file(&path).ok();
+        let points: Vec<u64> = (0..4).collect();
+        let ctl = RunCtl::unlimited();
+        try_sweep_resumable(11, &points, &path, &ctl, |&p, _| Ok(p * 3)).expect("seed the journal");
+        // Crash one: tear the final line, resume.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 15]).unwrap();
+        try_sweep_resumable(11, &points, &path, &ctl, |&p, _| Ok(p * 3)).expect("first resume");
+        // The torn line must be gone: every remaining line parses, so a
+        // second crash-and-resume cannot mistake it for corruption.
+        let healed = std::fs::read_to_string(&path).unwrap();
+        for line in healed.lines().filter(|l| !l.trim().is_empty()) {
+            serde_json::from_str::<serde_json::Value>(line)
+                .unwrap_or_else(|e| panic!("unparseable post-resume line {line:?}: {e}"));
+        }
+        // Crash two: tear again, resume again — still healable.
+        std::fs::write(&path, &healed[..healed.len() - 15]).unwrap();
+        let resumed = try_sweep_resumable(11, &points, &path, &ctl, |&p, _| Ok(p * 3))
+            .expect("second resume after a second torn tail");
+        for (i, r) in resumed.iter().enumerate() {
+            assert_eq!(r.as_ref().unwrap(), &(i as u64 * 3));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn journal_from_a_different_sweep_is_rejected() {
+        let path = temp_journal("mismatch");
+        std::fs::remove_file(&path).ok();
+        let points: Vec<u64> = (0..3).collect();
+        let ctl = RunCtl::unlimited();
+        try_sweep_resumable(11, &points, &path, &ctl, |&p, _| Ok(p)).expect("seed the journal");
+        // Same journal, different master seed: derived seeds mismatch.
+        let err = try_sweep_resumable(12, &points, &path, &ctl, |&p, _| Ok(p)).unwrap_err();
+        match &err {
+            SimError::Config(e) => {
+                assert_eq!(e.context, "SweepJournal");
+                assert!(e.message.contains("different sweep"), "{e}");
+            }
+            other => panic!("expected Config, got {other:?}"),
+        }
+        // A corrupted *non-final* line is also a hard error.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines[0] = "{\"index\":0,\"seed\":1,\"hash\":\"beef\",\"payload\":0}";
+        let patched = format!("{}\n", lines.join("\n"));
+        std::fs::write(&path, patched).unwrap();
+        let err = try_sweep_resumable(11, &points, &path, &ctl, |&p, _| Ok(p)).unwrap_err();
+        assert!(matches!(err, SimError::Config(_)), "{err:?}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

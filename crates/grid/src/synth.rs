@@ -279,7 +279,9 @@ impl TraceCache {
         }
         // Generate outside any lock: concurrent first requests may race and
         // generate twice, but generation is deterministic so both produce
-        // identical traces and the first insert wins.
+        // identical traces and the first insert wins. The fault site sits
+        // here too, so an injected panic never poisons the cache lock.
+        sustain_sim_core::faultpoint!(infallible "grid::trace_fill");
         let trace = Arc::new(generate_calibrated(profile, days, seed));
         let mut guard = self.inner.lock();
         let inner = &mut *guard;

@@ -25,6 +25,7 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::cell::Cell;
 use sustain_grid::trace::CarbonTrace;
+use sustain_sim_core::ctl::RunCtl;
 use sustain_sim_core::error::{
     ensure_ordered, ensure_positive, env_knob_usize, ConfigError, SimError, Validate,
 };
@@ -1452,6 +1453,7 @@ impl<'a> Sim<'a> {
     /// growth.
     fn tick(&mut self, now: SimTime) {
         self.tick_scheduled = false;
+        sustain_sim_core::faultpoint!(infallible "sim::tick");
         self.inject_failures(now);
         // --- Checkpoint policy: CI-driven suspends (§3.3).
         if let (Some(cfg), Some(ci)) = (self.cfg.checkpoint.clone(), self.ci_at(now)) {
@@ -1589,7 +1591,13 @@ impl<'a> Sim<'a> {
         }
     }
 
-    fn run(mut self) -> SimOutcome {
+    /// Number of event-loop steps between cancellation checks when a
+    /// control is attached. Power-of-two so the gate is a mask; easy
+    /// runs can have zero ticks, so gating on ticks alone would never
+    /// observe a cancellation there.
+    const CTL_CHECK_MASK: u64 = 255;
+
+    fn run(mut self, ctl: Option<&RunCtl>) -> Result<SimOutcome, SimError> {
         for (i, job) in self.jobs.iter().enumerate() {
             self.queue.schedule(job.submit, Ev::Submit(i));
         }
@@ -1600,6 +1608,13 @@ impl<'a> Sim<'a> {
             steps += 1;
             if steps > self.cfg.max_steps {
                 break;
+            }
+            if let Some(ctl) = ctl {
+                // Bucket-granularity cancellation: every 256 events or
+                // at any tick, whichever comes first.
+                if steps & Self::CTL_CHECK_MASK == 0 || matches!(ev, Ev::Tick) {
+                    ctl.check(t)?;
+                }
             }
             self.account(t);
             match ev {
@@ -1680,7 +1695,7 @@ impl<'a> Sim<'a> {
         );
         out.hot_path = self.stats;
         crate::metrics::record_hot_path_totals(&out.hot_path);
-        out
+        Ok(out)
     }
 }
 
@@ -1806,7 +1821,23 @@ fn earliest_slot(
 /// assert!((out.records[0].span().as_hours() - 2.0).abs() < 1e-9);
 /// ```
 pub fn simulate(jobs: &[Job], cfg: &SimConfig) -> SimOutcome {
-    Sim::new(jobs, cfg).run()
+    match Sim::new(jobs, cfg).run(None) {
+        Ok(out) => out,
+        // With no control attached the loop has no cancellation point.
+        Err(_) => unreachable!("uncontrolled simulation cannot be cancelled"),
+    }
+}
+
+/// [`simulate`] with a cooperative cancellation control: the event loop
+/// checks `ctl` at bucket granularity (every 256 events or at any tick)
+/// and returns [`SimError::Cancelled`] stamped with the simulation time
+/// reached. An unlimited control adds only the per-bucket check.
+pub fn simulate_with_ctl(
+    jobs: &[Job],
+    cfg: &SimConfig,
+    ctl: &RunCtl,
+) -> Result<SimOutcome, SimError> {
+    Sim::new(jobs, cfg).run(Some(ctl))
 }
 
 /// Fallible front door for untrusted configurations: validates `cfg` up
@@ -1816,6 +1847,17 @@ pub fn simulate(jobs: &[Job], cfg: &SimConfig) -> SimOutcome {
 pub fn try_simulate(jobs: &[Job], cfg: &SimConfig) -> Result<SimOutcome, SimError> {
     cfg.validate()?;
     Ok(simulate(jobs, cfg))
+}
+
+/// [`try_simulate`] with a cancellation control: validates up front,
+/// then runs under `ctl` like [`simulate_with_ctl`].
+pub fn try_simulate_with_ctl(
+    jobs: &[Job],
+    cfg: &SimConfig,
+    ctl: &RunCtl,
+) -> Result<SimOutcome, SimError> {
+    cfg.validate()?;
+    simulate_with_ctl(jobs, cfg, ctl)
 }
 
 #[cfg(test)]

@@ -14,11 +14,13 @@
 //! wrong must not be dropped on the floor.
 
 use serde::{DeError, Deserialize, Serialize, Value};
+use std::path::Path;
 use sustain_grid::region::{Region, RegionProfile};
-use sustain_hpc_core::scenario::{run, Scenario};
-use sustain_hpc_core::sweep::{point_seed, try_sweep_seeded};
+use sustain_hpc_core::scenario::{run_with_ctl, Scenario, ScenarioResult};
+use sustain_hpc_core::sweep::{point_seed, try_sweep_resumable, try_sweep_seeded_with_ctl};
 use sustain_scheduler::cluster::Cluster;
 use sustain_scheduler::sim::{CarbonAwareCfg, Policy};
+use sustain_sim_core::ctl::{CancelToken, Deadline, RunCtl};
 use sustain_sim_core::error::{ConfigError, SimError, Validate};
 
 /// Looks a region up by name, case-insensitively and ignoring spaces
@@ -65,6 +67,10 @@ pub struct RunRequest {
     pub green_threshold: Option<f64>,
     /// Enable malleable reshaping.
     pub malleable: bool,
+    /// Per-request wall-clock budget in milliseconds: work past this
+    /// deadline is cooperatively cancelled and reported as a typed
+    /// `Cancelled` error (HTTP 408). `None` = no deadline.
+    pub timeout_ms: Option<u64>,
 }
 
 impl Default for RunRequest {
@@ -78,6 +84,7 @@ impl Default for RunRequest {
             policy: "easy".to_string(),
             green_threshold: None,
             malleable: false,
+            timeout_ms: None,
         }
     }
 }
@@ -101,6 +108,7 @@ impl Deserialize for RunRequest {
                 "policy" => req.policy = String::from_value(val)?,
                 "green_threshold" => req.green_threshold = Option::<f64>::from_value(val)?,
                 "malleable" => req.malleable = bool::from_value(val)?,
+                "timeout_ms" => req.timeout_ms = Option::<u64>::from_value(val)?,
                 other => return Err(DeError::new(format!("unknown RunRequest field `{other}`"))),
             }
         }
@@ -112,26 +120,27 @@ impl RunRequest {
     /// Builds the scheduling policy from the `policy`/`green_threshold`
     /// pair.
     fn build_policy(&self) -> Result<Policy, ConfigError> {
-        let policy =
-            match self.policy.as_str() {
-                "easy" => Policy::EasyBackfill,
-                "fcfs" => Policy::Fcfs,
-                "conservative" => Policy::ConservativeBackfill,
-                "carbon" => {
-                    let mut cfg = CarbonAwareCfg::default();
-                    if let Some(t) = self.green_threshold {
-                        cfg.green_threshold_fraction = t;
-                    }
-                    return Ok(Policy::CarbonAware(cfg));
+        let policy = match self.policy.as_str() {
+            "easy" => Policy::EasyBackfill,
+            "fcfs" => Policy::Fcfs,
+            "conservative" => Policy::ConservativeBackfill,
+            "carbon" => {
+                let mut cfg = CarbonAwareCfg::default();
+                if let Some(t) = self.green_threshold {
+                    cfg.green_threshold_fraction = t;
                 }
-                other => return Err(ConfigError::new(
+                return Ok(Policy::CarbonAware(cfg));
+            }
+            other => {
+                return Err(ConfigError::new(
                     "RunRequest",
                     "policy",
                     format!(
                         "unknown policy {other:?}; expected easy, fcfs, conservative, or carbon"
                     ),
-                )),
-            };
+                ))
+            }
+        };
         if self.green_threshold.is_some() {
             return Err(ConfigError::new(
                 "RunRequest",
@@ -168,12 +177,41 @@ impl RunRequest {
     }
 }
 
+/// Builds the cancellation control for one request: the request's own
+/// `timeout_ms` deadline plus (in the service) the server-wide shutdown
+/// token. Both absent yields the unlimited, zero-overhead control.
+pub fn request_ctl(timeout_ms: Option<u64>, token: Option<&CancelToken>) -> RunCtl {
+    let mut ctl = RunCtl::unlimited();
+    if let Some(token) = token {
+        ctl = ctl.with_token(token.clone());
+    }
+    if let Some(ms) = timeout_ms {
+        ctl = ctl.with_deadline(Deadline::after_millis(ms));
+    }
+    ctl
+}
+
 /// Handles one run request: validate, simulate, and render the
 /// canonical response body (pretty JSON of the full `ScenarioResult`,
-/// identical to what the one-shot CLI prints).
+/// identical to what the one-shot CLI prints). Honors the request's
+/// own `timeout_ms`; a server shutdown token is only attached by
+/// [`run_body_with_ctl`].
 pub fn run_body(req: &RunRequest) -> Result<String, SimError> {
+    run_body_with_ctl(req, None)
+}
+
+/// [`run_body`] under the server's shutdown token: in-flight work is
+/// cooperatively cancelled (typed `Cancelled`, HTTP 408) when the
+/// token fires, instead of holding shutdown hostage until the
+/// simulation completes.
+pub fn run_body_with_ctl(
+    req: &RunRequest,
+    token: Option<&CancelToken>,
+) -> Result<String, SimError> {
     let scenario = req.to_scenario()?;
-    let result = sustain_hpc_core::scenario::try_run(&scenario)?;
+    scenario.validate()?;
+    let ctl = request_ctl(req.timeout_ms, token);
+    let result = run_with_ctl(&scenario, &ctl)?;
     serde_json::to_string_pretty(&result)
         .map_err(|e| SimError::invalid_input(format!("cannot serialize result: {e}")))
 }
@@ -198,6 +236,9 @@ pub struct SweepRequest {
     /// the sweep driver's independent-randomness mode. Incompatible
     /// with `axis: seed`.
     pub derive_seeds: bool,
+    /// Per-request wall-clock budget in milliseconds for the whole
+    /// sweep; see `RunRequest::timeout_ms`.
+    pub timeout_ms: Option<u64>,
 }
 
 impl Default for SweepRequest {
@@ -208,6 +249,7 @@ impl Default for SweepRequest {
             values: Vec::new(),
             master_seed: 2023,
             derive_seeds: false,
+            timeout_ms: None,
         }
     }
 }
@@ -225,6 +267,7 @@ impl Deserialize for SweepRequest {
                 "values" => req.values = Vec::<f64>::from_value(val)?,
                 "master_seed" => req.master_seed = u64::from_value(val)?,
                 "derive_seeds" => req.derive_seeds = bool::from_value(val)?,
+                "timeout_ms" => req.timeout_ms = Option::<u64>::from_value(val)?,
                 other => {
                     return Err(DeError::new(format!(
                         "unknown SweepRequest field `{other}`"
@@ -332,11 +375,9 @@ fn apply_axis(base: &RunRequest, axis: &str, value: f64) -> Result<RunRequest, C
     Ok(point)
 }
 
-/// Handles one sweep request: validate every point up front (typed
-/// error before any work runs), then fan the points out through the
-/// fault-isolated seeded sweep driver, and render the canonical
-/// response body.
-pub fn sweep_body(req: &SweepRequest) -> Result<String, SimError> {
+/// Validates a sweep request up front (typed error before any work
+/// runs) and materializes one scenario per axis value.
+fn sweep_scenarios(req: &SweepRequest) -> Result<Vec<Scenario>, SimError> {
     if req.values.is_empty() {
         return Err(ConfigError::new("SweepRequest", "values", "must not be empty").into());
     }
@@ -366,28 +407,32 @@ pub fn sweep_body(req: &SweepRequest) -> Result<String, SimError> {
         scenario.validate()?;
         scenarios.push(scenario);
     }
+    Ok(scenarios)
+}
 
-    // Points already validated: run on the trusted zero-overhead path;
-    // `try_sweep_seeded` still isolates a panicking point. The derived
-    // sub-seed argument is the same `point_seed` applied above.
-    let results = try_sweep_seeded(req.master_seed, &scenarios, |scenario, _sub_seed| {
-        let r = run(scenario);
-        let wait_mean_secs = r.outcome.wait.mean;
-        SweepRow {
-            name: r.name,
-            seed: scenario.seed,
-            jobs: r.outcome.records.len(),
-            unfinished: r.outcome.unfinished,
-            makespan_hours: r.outcome.makespan.as_secs() / 3600.0,
-            mean_wait_hours: wait_mean_secs / 3600.0,
-            utilization: r.outcome.utilization,
-            energy_kwh: (r.outcome.job_energy + r.outcome.idle_energy).kwh(),
-            carbon_kg: r.outcome.carbon.grams() / 1000.0,
-            facility_carbon_kg: r.facility_carbon.grams() / 1000.0,
-            grid_mean_ci: r.grid_mean_ci,
-        }
-    });
+/// Collapses one scenario result into its sweep summary row.
+fn sweep_row(seed: u64, r: ScenarioResult) -> SweepRow {
+    let wait_mean_secs = r.outcome.wait.mean;
+    SweepRow {
+        name: r.name,
+        seed,
+        jobs: r.outcome.records.len(),
+        unfinished: r.outcome.unfinished,
+        makespan_hours: r.outcome.makespan.as_secs() / 3600.0,
+        mean_wait_hours: wait_mean_secs / 3600.0,
+        utilization: r.outcome.utilization,
+        energy_kwh: (r.outcome.job_energy + r.outcome.idle_energy).kwh(),
+        carbon_kg: r.outcome.carbon.grams() / 1000.0,
+        facility_carbon_kg: r.facility_carbon.grams() / 1000.0,
+        grid_mean_ci: r.grid_mean_ci,
+    }
+}
 
+/// Renders the canonical sweep response body from per-point results.
+fn render_sweep_response(
+    req: &SweepRequest,
+    results: Vec<Result<SweepRow, SimError>>,
+) -> Result<String, SimError> {
     let points: Vec<SweepPointOutcome> = results
         .into_iter()
         .enumerate()
@@ -398,11 +443,11 @@ pub fn sweep_body(req: &SweepRequest) -> Result<String, SimError> {
                 row: Some(row),
                 error: None,
             },
-            Err(point_error) => SweepPointOutcome {
+            Err(e) => SweepPointOutcome {
                 index,
                 value: req.values[index],
                 row: None,
-                error: Some(point_error.into()),
+                error: Some(e),
             },
         })
         .collect();
@@ -417,6 +462,54 @@ pub fn sweep_body(req: &SweepRequest) -> Result<String, SimError> {
         .map_err(|e| SimError::invalid_input(format!("cannot serialize sweep: {e}")))
 }
 
+/// Handles one sweep request: validate every point up front, fan the
+/// points out through the fault-isolated seeded sweep driver, and
+/// render the canonical response body. Honors the request's own
+/// `timeout_ms`; a server shutdown token is only attached by
+/// [`sweep_body_with_ctl`].
+pub fn sweep_body(req: &SweepRequest) -> Result<String, SimError> {
+    sweep_body_with_ctl(req, None)
+}
+
+/// [`sweep_body`] under the server's shutdown token. A fired deadline
+/// or token cancels the whole sweep with a typed `Cancelled` error
+/// carrying partial-progress stats (`N/M sweep points completed`);
+/// per-point panics and errors still land in their own point slots.
+pub fn sweep_body_with_ctl(
+    req: &SweepRequest,
+    token: Option<&CancelToken>,
+) -> Result<String, SimError> {
+    let scenarios = sweep_scenarios(req)?;
+    let ctl = request_ctl(req.timeout_ms, token);
+    // Points already validated: run each under the same control so a
+    // mid-point cancellation surfaces promptly. The derived sub-seed
+    // argument is the same `point_seed` already applied by
+    // `sweep_scenarios`.
+    let results = try_sweep_seeded_with_ctl(req.master_seed, &scenarios, &ctl, |scenario, _| {
+        run_with_ctl(scenario, &ctl).map(|r| sweep_row(scenario.seed, r))
+    })?;
+    render_sweep_response(req, results)
+}
+
+/// [`sweep_body`] with a crash-resumable checkpoint journal: completed
+/// points are replayed from `journal` instead of re-run, and newly
+/// completed points are appended to it (one fsync'd JSON line each).
+/// The merged response is byte-identical to an uninterrupted
+/// [`sweep_body`] run of the same request.
+pub fn sweep_body_resumable(
+    req: &SweepRequest,
+    journal: &Path,
+    token: Option<&CancelToken>,
+) -> Result<String, SimError> {
+    let scenarios = sweep_scenarios(req)?;
+    let ctl = request_ctl(req.timeout_ms, token);
+    let results =
+        try_sweep_resumable(req.master_seed, &scenarios, journal, &ctl, |scenario, _| {
+            run_with_ctl(scenario, &ctl).map(|r| sweep_row(scenario.seed, r))
+        })?;
+    render_sweep_response(req, results)
+}
+
 /// Structured error payload: every non-2xx response carries one.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ErrorBody {
@@ -429,8 +522,8 @@ pub struct ErrorBody {
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ErrorDetail {
     /// Machine-readable kind: `config`, `invalid_input`, `faulted`,
-    /// `bad_request`, `not_found`, `method_not_allowed`, `overloaded`,
-    /// or `payload_too_large`.
+    /// `cancelled`, `timeout`, `bad_request`, `not_found`,
+    /// `method_not_allowed`, `overloaded`, or `payload_too_large`.
     pub kind: String,
     /// Human-readable message.
     pub message: String,
@@ -456,7 +549,9 @@ pub fn error_body(kind: &str, message: &str, context: Option<&str>, field: Optio
 
 /// Maps a typed simulation error to its HTTP status and body:
 /// validation failures are the client's fault (400), an isolated fault
-/// inside the work unit is ours (500).
+/// inside the work unit is ours (500), and cooperatively cancelled
+/// work — deadline expiry or server shutdown — is a request timeout
+/// (408) whose message carries the partial-progress stats.
 pub fn sim_error_response(e: &SimError) -> (u16, String) {
     match e {
         SimError::Config(c) => (
@@ -475,6 +570,7 @@ pub fn sim_error_response(e: &SimError) -> (u16, String) {
                 None,
             ),
         ),
+        SimError::Cancelled { .. } => (408, error_body("cancelled", &e.to_string(), None, None)),
     }
 }
 
@@ -606,6 +702,7 @@ mod tests {
             values: vec![2.0, 3.0],
             master_seed: 42,
             derive_seeds: true,
+            timeout_ms: None,
         };
         let body = sweep_body(&req).unwrap();
         let v: Value = serde_json::from_str(&body).unwrap();
@@ -635,5 +732,87 @@ mod tests {
         });
         assert_eq!(status, 500);
         assert!(body.contains("faulted"));
+
+        let (status, body) = sim_error_response(&SimError::Cancelled {
+            at_sim_time: sustain_sim_core::time::SimTime::from_hours(3.0),
+            reason: "deadline of 1ms exceeded".into(),
+        });
+        assert_eq!(status, 408);
+        let v: Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v["error"]["kind"].as_str(), Some("cancelled"));
+        assert!(body.contains("deadline of 1ms exceeded"), "{body}");
+    }
+
+    #[test]
+    fn timed_out_run_is_a_typed_cancelled_error() {
+        // A 365-day, 10k-node run takes seconds; a 1 ms budget cannot
+        // finish it, so the deadline must fire inside the event loop.
+        let req = RunRequest {
+            days: 365,
+            nodes: 10_000,
+            timeout_ms: Some(1),
+            ..RunRequest::default()
+        };
+        let err = run_body(&req).unwrap_err();
+        match &err {
+            SimError::Cancelled { reason, .. } => {
+                assert!(reason.contains("deadline"), "{reason}");
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancelled_sweep_reports_partial_progress() {
+        let token = CancelToken::new();
+        token.cancel("shutdown requested");
+        let req = SweepRequest {
+            base: RunRequest {
+                days: 2,
+                nodes: 600,
+                ..RunRequest::default()
+            },
+            axis: "days".into(),
+            values: vec![2.0, 3.0],
+            ..SweepRequest::default()
+        };
+        let err = sweep_body_with_ctl(&req, Some(&token)).unwrap_err();
+        match &err {
+            SimError::Cancelled { reason, .. } => {
+                assert!(reason.contains("shutdown requested"), "{reason}");
+                assert!(reason.contains("sweep points completed"), "{reason}");
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resumable_sweep_body_matches_the_plain_body() {
+        let req = SweepRequest {
+            base: RunRequest {
+                days: 2,
+                nodes: 600,
+                ..RunRequest::default()
+            },
+            axis: "days".into(),
+            values: vec![2.0, 3.0],
+            ..SweepRequest::default()
+        };
+        let dir = std::env::temp_dir().join(format!(
+            "sustain-api-journal-{}-{}",
+            std::process::id(),
+            "match"
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join("sweep.journal");
+        let _ = std::fs::remove_file(&journal);
+
+        let plain = sweep_body(&req).unwrap();
+        let fresh = sweep_body_resumable(&req, &journal, None).unwrap();
+        assert_eq!(plain, fresh, "fresh resumable run must match plain run");
+        // Second invocation replays every point from the journal.
+        let replayed = sweep_body_resumable(&req, &journal, None).unwrap();
+        assert_eq!(plain, replayed, "replayed run must be byte-identical");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

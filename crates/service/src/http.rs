@@ -8,14 +8,22 @@
 //! limits on header and body size so a misbehaving client cannot make
 //! the server allocate without bound.
 
-use std::io::{Read, Write};
+use std::io::{self, Read, Write};
 use std::net::TcpStream;
+use std::time::Duration;
+use sustain_sim_core::ctl::Deadline;
 
 /// Hard cap on the request head (request line + headers).
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 
 /// Hard cap on a request body.
 pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// Granularity of the socket read timeout used to poll an idle-read
+/// [`Deadline`]: small enough that a fired deadline is noticed
+/// promptly, large enough that a healthy request pays no extra
+/// syscalls (the timeout only triggers when the peer stalls).
+const READ_SLICE: Duration = Duration::from_millis(100);
 
 /// One parsed request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,6 +47,10 @@ pub enum HttpError {
     PayloadTooLarge(usize),
     /// The peer closed or timed out before a full request arrived.
     Incomplete(String),
+    /// The idle-read [`Deadline`] fired before a full request arrived —
+    /// the connection sat open without sending one. Maps to 408 with
+    /// the typed kind `timeout`.
+    Timeout(String),
 }
 
 impl std::fmt::Display for HttpError {
@@ -49,31 +61,102 @@ impl std::fmt::Display for HttpError {
                 write!(f, "request body of {n} bytes exceeds {MAX_BODY_BYTES}")
             }
             HttpError::Incomplete(m) => write!(f, "incomplete request: {m}"),
+            HttpError::Timeout(m) => write!(f, "request read timed out: {m}"),
         }
     }
 }
 
 impl std::error::Error for HttpError {}
 
+/// One blocking-or-sliced read: with a deadline attached, timeout
+/// errors poll the deadline and keep waiting until it fires; without
+/// one, they surface as [`HttpError::Incomplete`] (legacy blocking
+/// behavior under whatever socket timeout the caller configured).
+fn read_some(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    deadline: Option<&Deadline>,
+) -> Result<usize, HttpError> {
+    loop {
+        match stream.read(buf) {
+            Ok(n) => return Ok(n),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                match deadline {
+                    Some(d) if d.expired() => {
+                        return Err(HttpError::Timeout(format!(
+                            "no complete request within the read deadline of {:.3}s",
+                            d.budget().as_secs_f64()
+                        )))
+                    }
+                    Some(_) => continue,
+                    None => return Err(HttpError::Incomplete(format!("read error: {e}"))),
+                }
+            }
+            Err(e) => return Err(HttpError::Incomplete(format!("read error: {e}"))),
+        }
+    }
+}
+
+/// Best-effort drain of any unread request bytes, called *after* the
+/// response is written on paths that answered without consuming the
+/// full request (429 rejections, read faults, handler panics). Closing
+/// a socket with data still in its receive buffer sends an RST, which
+/// can discard the response before the peer reads it — so signal EOF
+/// with a write-side shutdown, then read until the peer closes (or a
+/// short timeout for peers that never do).
+pub fn drain_unread(stream: &mut TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut sink = [0u8; 1024];
+    while let Ok(n) = stream.read(&mut sink) {
+        if n == 0 {
+            break;
+        }
+    }
+}
+
 /// Reads and parses one request from `stream`.
 ///
 /// Honors `Expect: 100-continue` (curl sends it for larger POST bodies)
 /// by emitting the interim response before reading the body.
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+///
+/// With `read_deadline` attached, socket reads run in [`READ_SLICE`]
+/// timeout slices and an idle or stalling peer is answered with a
+/// typed [`HttpError::Timeout`] once the deadline fires, so one silent
+/// connection can never pin a worker forever. `None` preserves plain
+/// blocking reads.
+pub fn read_request(
+    stream: &mut TcpStream,
+    read_deadline: Option<Deadline>,
+) -> Result<Request, HttpError> {
+    sustain_sim_core::faultpoint!("service::read")
+        .map_err(|e| HttpError::BadRequest(e.to_string()))?;
+    if read_deadline.is_some() {
+        // Failure to arm the slice timeout degrades to blocking reads;
+        // the deadline then simply cannot fire early, which is the
+        // pre-deadline behavior, not a new hazard.
+        let _ = stream.set_read_timeout(Some(READ_SLICE));
+    }
+    let deadline = read_deadline.as_ref();
     let mut head = Vec::with_capacity(512);
     let mut byte = [0u8; 1];
     // Byte-at-a-time until CRLFCRLF: request heads are tiny and this
     // keeps the parser trivially correct about not consuming body bytes.
     let head_end = loop {
-        match stream.read(&mut byte) {
-            Ok(0) => {
+        match read_some(stream, &mut byte, deadline)? {
+            0 => {
                 return Err(HttpError::Incomplete(format!(
                     "connection closed after {} header bytes",
                     head.len()
                 )))
             }
-            Ok(_) => head.push(byte[0]),
-            Err(e) => return Err(HttpError::Incomplete(format!("read error: {e}"))),
+            _ => head.push(byte[0]),
         }
         if head.ends_with(b"\r\n\r\n") {
             break head.len();
@@ -137,10 +220,16 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
         let _ = stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n");
     }
     let mut body = vec![0u8; content_length];
-    if content_length > 0 {
-        stream
-            .read_exact(&mut body)
-            .map_err(|e| HttpError::Incomplete(format!("body read error: {e}")))?;
+    let mut filled = 0;
+    while filled < content_length {
+        match read_some(stream, &mut body[filled..], deadline)? {
+            0 => {
+                return Err(HttpError::Incomplete(format!(
+                    "body read error: connection closed after {filled} of {content_length} bytes"
+                )))
+            }
+            n => filled += n,
+        }
     }
     Ok(Request { method, path, body })
 }
@@ -194,7 +283,26 @@ mod tests {
             s.shutdown(std::net::Shutdown::Write).unwrap();
         });
         let (mut conn, _) = listener.accept().unwrap();
-        let parsed = read_request(&mut conn);
+        let parsed = read_request(&mut conn, None);
+        writer.join().unwrap();
+        parsed
+    }
+
+    /// Accepts one connection whose peer sends `raw` and then stalls
+    /// (never closing), and parses it under `deadline`.
+    fn parse_stalled(raw: &'static [u8], deadline: Deadline) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(raw).unwrap();
+            // Keep the socket open (no EOF) until the parser returns.
+            let _ = done_rx.recv();
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let parsed = read_request(&mut conn, Some(deadline));
+        let _ = done_tx.send(());
         writer.join().unwrap();
         parsed
     }
@@ -242,5 +350,39 @@ mod tests {
             parse_raw(huge.as_bytes()),
             Err(HttpError::PayloadTooLarge(_))
         ));
+    }
+
+    #[test]
+    fn idle_connection_times_out_with_a_typed_error() {
+        // A peer that connects and never sends a byte.
+        let err = parse_stalled(b"", Deadline::after_millis(50)).unwrap_err();
+        match err {
+            HttpError::Timeout(m) => assert!(m.contains("read deadline"), "{m}"),
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        // A peer that stalls mid-body is the same hazard.
+        let err = parse_stalled(
+            b"POST /run HTTP/1.1\r\nContent-Length: 10\r\n\r\nhalf",
+            Deadline::after_millis(50),
+        )
+        .unwrap_err();
+        assert!(matches!(err, HttpError::Timeout(_)), "{err:?}");
+    }
+
+    #[test]
+    fn deadline_does_not_fire_on_a_healthy_request() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"POST /run HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd")
+                .unwrap();
+            s.shutdown(std::net::Shutdown::Write).unwrap();
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let req = read_request(&mut conn, Some(Deadline::after_millis(5_000))).unwrap();
+        writer.join().unwrap();
+        assert_eq!(req.path, "/run");
+        assert_eq!(req.body, b"abcd");
     }
 }

@@ -20,9 +20,11 @@
 //! handlers. Errors come back as structured JSON
 //! (`{"error": {"kind", "message", ...}}`) with 4xx for anything the
 //! caller got wrong and 5xx only for isolated faults. Overload is a
-//! fast 429 from a bounded accept queue; shutdown drains every accepted
-//! request before the workers exit. See the [`server`] module docs for
-//! the thread-budget sharing model.
+//! fast 429 from a bounded accept queue; shutdown cooperatively
+//! cancels in-flight simulations (typed `Cancelled`, 408) and still
+//! answers every accepted request before the workers exit. See the
+//! [`server`] module docs for the thread-budget sharing and fault-
+//! containment model.
 
 #![warn(missing_docs)]
 #![warn(clippy::unwrap_used, clippy::expect_used)]
@@ -35,5 +37,8 @@ pub mod http;
 pub mod server;
 pub mod signal;
 
-pub use api::{run_body, sweep_body, RunRequest, SweepRequest};
+pub use api::{
+    run_body, run_body_with_ctl, sweep_body, sweep_body_resumable, sweep_body_with_ctl, RunRequest,
+    SweepRequest,
+};
 pub use server::{serve, ServeOptions, ServerHandle, StatsBody};

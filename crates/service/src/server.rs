@@ -19,13 +19,25 @@
 //! while it is full is answered `429 Too Many Requests` immediately and
 //! closed, so overload is explicit and cheap instead of an unbounded
 //! backlog. On shutdown (SIGINT/SIGTERM, `POST /shutdown`, or
-//! [`ServerHandle::shutdown`]) the listener stops accepting, queued and
-//! in-flight requests all complete, and only then do the workers exit —
-//! no accepted request is ever dropped with an empty response.
+//! [`ServerHandle::shutdown`]) the listener stops accepting and the
+//! server-wide [`CancelToken`] fires: in-flight and queued simulation
+//! work is *cooperatively cancelled* and answered with a typed
+//! `Cancelled` 408 instead of holding the drain hostage until it
+//! completes — but every accepted request still gets a response; none
+//! is ever dropped with an empty socket.
+//!
+//! ## Fault containment
+//!
+//! Request handling runs inside a `catch_unwind` boundary: a panicking
+//! handler (or an armed `service::dispatch` / `service::respond` fault
+//! site) is answered with a typed 500 and the worker keeps serving —
+//! the in-flight counter and budget lease are both released on the
+//! unwind path, so a chaos run leaves the pool at its baseline.
 
 use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -34,10 +46,11 @@ use std::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
 use sustain_grid::synth::{global_trace_cache, CacheStats};
 use sustain_scheduler::metrics::{hot_path_totals, HotPathStats};
+use sustain_sim_core::ctl::{CancelToken, Deadline};
 use sustain_telemetry::requests::{EndpointSnapshot, RequestLog};
 
 use crate::api;
-use crate::http::{read_request, write_json_response, HttpError, Request};
+use crate::http::{drain_unread, read_request, write_json_response, HttpError, Request};
 
 /// How the serve loop is configured. `Default` binds an ephemeral
 /// loopback port with 4 in-flight slots and a queue of 16.
@@ -53,6 +66,11 @@ pub struct ServeOptions {
     /// Maximum connections waiting for a worker before new arrivals are
     /// answered 429.
     pub queue_depth: usize,
+    /// Idle-read deadline, milliseconds: a connection that has not
+    /// delivered a complete request within this budget is answered a
+    /// typed 408 `timeout` and closed, so one silent peer can never
+    /// pin a worker forever.
+    pub read_timeout_ms: u64,
 }
 
 impl Default for ServeOptions {
@@ -61,6 +79,7 @@ impl Default for ServeOptions {
             addr: "127.0.0.1:0".to_string(),
             max_inflight: 4,
             queue_depth: 16,
+            read_timeout_ms: 30_000,
         }
     }
 }
@@ -96,6 +115,10 @@ struct Inner {
     /// A client asked for shutdown via `POST /shutdown` (the embedding
     /// loop polls this and calls [`ServerHandle::shutdown`]).
     shutdown_requested: AtomicBool,
+    /// Server-wide cancellation token threaded through every request's
+    /// `RunCtl`: fired on shutdown so in-flight simulations stop at
+    /// their next check bucket with a typed `Cancelled` (408).
+    cancel: CancelToken,
     in_flight: AtomicUsize,
     rejected_overload: AtomicU64,
     log: RequestLog,
@@ -137,9 +160,12 @@ impl ServerHandle {
         self.inner.shutdown_requested.load(Ordering::SeqCst)
     }
 
-    /// Begins shutdown: the listener stops accepting; queued and
-    /// in-flight requests still complete. Returns immediately.
+    /// Begins shutdown: the listener stops accepting and the server's
+    /// [`CancelToken`] fires, so queued and in-flight requests are
+    /// answered promptly — completed work with 200, cancelled work
+    /// with a typed 408. Returns immediately.
     pub fn shutdown(&self) {
+        self.inner.cancel.cancel("shutdown requested");
         self.inner.shutdown.store(true, Ordering::SeqCst);
         self.inner.queue_signal.notify_all();
     }
@@ -180,6 +206,7 @@ pub fn serve(options: ServeOptions) -> io::Result<ServerHandle> {
         queue_signal: Condvar::new(),
         shutdown: AtomicBool::new(false),
         shutdown_requested: AtomicBool::new(false),
+        cancel: CancelToken::new(),
         in_flight: AtomicUsize::new(0),
         rejected_overload: AtomicU64::new(0),
         log: RequestLog::new(),
@@ -236,18 +263,10 @@ fn accept_loop(listener: TcpListener, inner: &Inner) {
                             None,
                         );
                         let _ = write_json_response(&mut conn, 429, &body);
-                        // Closing with unread request bytes in the socket
-                        // buffer sends RST, which can discard the 429
-                        // before the client reads it. Drain briefly so
-                        // the rejection actually arrives.
-                        let _ = conn.set_read_timeout(Some(Duration::from_millis(200)));
-                        let _ = conn.shutdown(std::net::Shutdown::Write);
-                        let mut sink = [0u8; 1024];
-                        while let Ok(n) = io::Read::read(&mut conn, &mut sink) {
-                            if n == 0 {
-                                break;
-                            }
-                        }
+                        // The request bytes were never read: drain so
+                        // the 429 survives the close instead of being
+                        // RST-discarded.
+                        drain_unread(&mut conn);
                         false
                     }
                 };
@@ -316,8 +335,44 @@ fn worker_loop(index: usize, inner: &Inner) {
             }
             lease
         };
-        handle_connection(&mut conn, inner);
+        // Fault boundary: a panicking handler (or an armed
+        // `service::dispatch` fault site) must not take the worker
+        // down — the peer gets a typed 500 and the loop keeps serving.
+        // The budget lease and in-flight counter are released on both
+        // paths, so the pool is back at baseline after any chaos run.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            sustain_sim_core::faultpoint!(infallible "service::dispatch");
+            handle_connection(&mut conn, inner);
+        }));
+        if let Err(payload) = outcome {
+            let body = api::error_body(
+                "faulted",
+                &format!(
+                    "fault isolated in request handler: {}",
+                    panic_text(payload.as_ref())
+                ),
+                None,
+                None,
+            );
+            let _ = write_json_response(&mut conn, 500, &body);
+            // The handler may have died before consuming the request:
+            // drain so closing does not RST the 500 away.
+            drain_unread(&mut conn);
+            inner.log.record("(panicked)", 500, 0);
+        }
         inner.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Best-effort text of a panic payload (`&str` and `String` payloads;
+/// anything else gets a placeholder).
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "opaque panic payload"
     }
 }
 
@@ -335,10 +390,14 @@ fn endpoint_label(req: &Request) -> String {
 
 /// Reads one request, routes it, writes one response, records it.
 fn handle_connection(conn: &mut TcpStream, inner: &Inner) {
-    // A peer that stalls mid-request must not pin a worker forever.
-    let _ = conn.set_read_timeout(Some(Duration::from_secs(30)));
+    // A peer that stalls mid-request must not pin a worker forever:
+    // the read runs under the configured idle deadline and a silent
+    // connection is answered a typed 408 `timeout`.
+    let read_deadline = Deadline::after_millis(inner.options.read_timeout_ms);
     let started = Instant::now();
-    let (label, status, body) = match read_request(conn) {
+    let parsed = read_request(conn, Some(read_deadline));
+    let fully_read = parsed.is_ok();
+    let (label, status, body) = match parsed {
         Ok(req) => {
             let label = endpoint_label(&req);
             let (status, body) = route(&req, inner);
@@ -349,12 +408,19 @@ fn handle_connection(conn: &mut TcpStream, inner: &Inner) {
                 HttpError::BadRequest(_) => (400, "bad_request"),
                 HttpError::PayloadTooLarge(_) => (413, "payload_too_large"),
                 HttpError::Incomplete(_) => (408, "bad_request"),
+                HttpError::Timeout(_) => (408, "timeout"),
             };
             let body = api::error_body(kind, &e.to_string(), None, None);
             ("(unparsed)".to_string(), status, body)
         }
     };
+    sustain_sim_core::faultpoint!(infallible "service::respond");
     let _ = write_json_response(conn, status, &body);
+    if !fully_read {
+        // The request was not fully consumed: drain what remains so
+        // closing after the error response does not RST it away.
+        drain_unread(conn);
+    }
     let latency_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
     inner.log.record(&label, status, latency_us);
 }
@@ -365,20 +431,25 @@ fn route(req: &Request, inner: &Inner) -> (u16, String) {
         ("GET", "/healthz") => (200, "{\n  \"status\": \"ok\"\n}".to_string()),
         ("GET", "/stats") => stats_response(inner),
         ("POST", "/run") => match parse_body::<api::RunRequest>(&req.body) {
-            Ok(run_req) => match api::run_body(&run_req) {
+            Ok(run_req) => match api::run_body_with_ctl(&run_req, Some(&inner.cancel)) {
                 Ok(body) => (200, body),
                 Err(e) => api::sim_error_response(&e),
             },
             Err(resp) => resp,
         },
         ("POST", "/sweep") => match parse_body::<api::SweepRequest>(&req.body) {
-            Ok(sweep_req) => match api::sweep_body(&sweep_req) {
+            Ok(sweep_req) => match api::sweep_body_with_ctl(&sweep_req, Some(&inner.cancel)) {
                 Ok(body) => (200, body),
                 Err(e) => api::sim_error_response(&e),
             },
             Err(resp) => resp,
         },
         ("POST", "/shutdown") => {
+            // Fire the server token right here: in-flight simulations
+            // stop at their next check bucket instead of riding out
+            // the drain (the embedding loop still observes the flag
+            // and stops the listener via `ServerHandle::shutdown`).
+            inner.cancel.cancel("shutdown requested");
             inner.shutdown_requested.store(true, Ordering::SeqCst);
             (200, "{\n  \"status\": \"draining\"\n}".to_string())
         }

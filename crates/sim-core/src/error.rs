@@ -17,6 +17,7 @@
 //! front-end can relay them as structured payloads, and both implement
 //! [`std::error::Error`] with proper source chaining.
 
+use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -94,6 +95,20 @@ pub enum SimError {
         /// The rendered panic payload.
         message: String,
     },
+    /// Work stopped cooperatively at a cancellation point (see
+    /// [`crate::ctl`]): an explicit [`crate::ctl::CancelToken`]
+    /// (shutdown, SIGINT/SIGTERM) or an expired
+    /// [`crate::ctl::Deadline`].
+    Cancelled {
+        /// How far the simulation clock had advanced when work stopped
+        /// (zero when cancelled before the event loop, e.g. between
+        /// sweep points).
+        at_sim_time: SimTime,
+        /// Why work stopped, including partial-progress stats where
+        /// the caller tracks them (e.g. `"…; 3/8 sweep points
+        /// completed"`).
+        reason: String,
+    },
 }
 
 impl SimError {
@@ -112,6 +127,16 @@ impl fmt::Display for SimError {
             SimError::InvalidInput { message } => write!(f, "invalid input: {message}"),
             SimError::Faulted { unit, message } => {
                 write!(f, "fault isolated in {unit}: {message}")
+            }
+            SimError::Cancelled {
+                at_sim_time,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "cancelled at sim time {:.3}h: {reason}",
+                    at_sim_time.as_hours()
+                )
             }
         }
     }
@@ -339,6 +364,25 @@ mod tests {
         let e = SimError::Config(ConfigError::new("WorkloadConfig", "users", "must be >= 1"));
         let back = SimError::from_value(&e.to_value()).unwrap();
         assert_eq!(back, e);
+        let c = SimError::Cancelled {
+            at_sim_time: SimTime::from_hours(7.5),
+            reason: "deadline of 0.250s exceeded; 3/8 sweep points completed".into(),
+        };
+        let back = SimError::from_value(&c.to_value()).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn cancelled_display_names_sim_time_and_reason() {
+        let c = SimError::Cancelled {
+            at_sim_time: SimTime::from_hours(7.5),
+            reason: "shutdown requested".into(),
+        };
+        assert_eq!(
+            c.to_string(),
+            "cancelled at sim time 7.500h: shutdown requested"
+        );
+        assert!(c.source().is_none());
     }
 
     #[test]

@@ -7,9 +7,9 @@
 //! sustain-hpc <experiment> [--out DIR] [--seed N] [--days N] [--threads N] [--stats]
 //! sustain-hpc all --out results/
 //! sustain-hpc list
-//! sustain-hpc run [--request FILE]      # one scenario from a JSON request
-//! sustain-hpc sweep --request FILE      # one-axis sweep from a JSON request
-//! sustain-hpc serve [--addr HOST:PORT] [--max-inflight N] [--queue-depth N]
+//! sustain-hpc run [--request FILE] [--timeout SECS]
+//! sustain-hpc sweep --request FILE [--timeout SECS] [--journal FILE]
+//! sustain-hpc serve [--addr HOST:PORT] [--max-inflight N] [--queue-depth N] [--read-timeout-ms N]
 //! ```
 //!
 //! Sweep parallelism: `--threads N` (or the `SUSTAIN_THREADS` environment
@@ -19,14 +19,20 @@
 //!
 //! `run` and `sweep` print exactly the body the service's `POST /run` /
 //! `POST /sweep` endpoints return (plus a trailing newline) — the CLI
-//! and the server call the same handlers. `serve` runs until SIGINT,
-//! SIGTERM, or `POST /shutdown`, then drains in-flight requests before
-//! exiting.
+//! and the server call the same handlers. `--timeout SECS` attaches a
+//! wall-clock deadline: work past it is cooperatively cancelled with a
+//! typed `cancelled` error and a non-zero exit. `sweep --journal FILE`
+//! makes the sweep crash-resumable: each completed point is appended
+//! to the journal (fsync'd), and re-running the same command replays
+//! completed points instead of re-simulating them — the merged output
+//! is byte-identical to an uninterrupted run. `serve` runs until
+//! SIGINT, SIGTERM, or `POST /shutdown`, then cancels in-flight work
+//! (typed 408) and answers every accepted request before exiting.
 //!
 //! Environment knobs (`SUSTAIN_THREADS`, `SUSTAIN_PAR_PENDING_MIN`,
-//! `SUSTAIN_TRACE_CACHE_CAP`) are parsed strictly at startup: an
-//! invalid value is a typed error and a non-zero exit, never a silent
-//! fallback.
+//! `SUSTAIN_TRACE_CACHE_CAP`, `SUSTAIN_FAULTS`, `SUSTAIN_FAULTS_SEED`)
+//! are parsed strictly at startup: an invalid value is a typed error
+//! and a non-zero exit, never a silent fallback.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -80,12 +86,19 @@ struct Args {
     stats: bool,
     /// `run`/`sweep`: path of the JSON request body.
     request: Option<PathBuf>,
+    /// `run`/`sweep`: wall-clock budget in seconds (overrides the
+    /// request's own `timeout_ms`).
+    timeout_secs: Option<f64>,
+    /// `sweep`: checkpoint-journal path for crash-resumable sweeps.
+    journal: Option<PathBuf>,
     /// `serve`: bind address.
     addr: String,
     /// `serve`: concurrent request cap.
     max_inflight: usize,
     /// `serve`: accept-queue bound before 429s.
     queue_depth: usize,
+    /// `serve`: idle-connection read deadline, milliseconds.
+    read_timeout_ms: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -97,9 +110,12 @@ fn parse_args() -> Result<Args, String> {
     let mut threads = None;
     let mut stats = false;
     let mut request = None;
+    let mut timeout_secs = None;
+    let mut journal = None;
     let mut addr = "127.0.0.1:8725".to_string();
     let mut max_inflight = 4usize;
     let mut queue_depth = 16usize;
+    let mut read_timeout_ms = 30_000u64;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--out" => {
@@ -126,6 +142,18 @@ fn parse_args() -> Result<Args, String> {
                 let v = args.next().ok_or("--request needs a file path")?;
                 request = Some(PathBuf::from(v));
             }
+            "--timeout" => {
+                let v = args.next().ok_or("--timeout needs seconds")?;
+                let secs: f64 = v.parse().map_err(|_| format!("bad timeout: {v}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(format!("--timeout must be a positive number, got {v}"));
+                }
+                timeout_secs = Some(secs);
+            }
+            "--journal" => {
+                let v = args.next().ok_or("--journal needs a file path")?;
+                journal = Some(PathBuf::from(v));
+            }
             "--addr" => {
                 addr = args.next().ok_or("--addr needs HOST:PORT")?;
             }
@@ -143,6 +171,13 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--queue-depth must be at least 1".into());
                 }
             }
+            "--read-timeout-ms" => {
+                let v = args.next().ok_or("--read-timeout-ms needs a value")?;
+                read_timeout_ms = v.parse().map_err(|_| format!("bad read-timeout-ms: {v}"))?;
+                if read_timeout_ms == 0 {
+                    return Err("--read-timeout-ms must be at least 1".into());
+                }
+            }
             other => return Err(format!("unknown flag: {other}")),
         }
     }
@@ -154,10 +189,19 @@ fn parse_args() -> Result<Args, String> {
         threads,
         stats,
         request,
+        timeout_secs,
+        journal,
         addr,
         max_inflight,
         queue_depth,
+        read_timeout_ms,
     })
+}
+
+/// `--timeout SECS` → the request's `timeout_ms` field (the flag wins
+/// over a value already present in the JSON body).
+fn timeout_ms_of(args: &Args) -> Option<u64> {
+    args.timeout_secs.map(|secs| (secs * 1000.0).ceil() as u64)
 }
 
 /// Reads the `--request` body (defaults to `{}`, i.e. the baseline
@@ -178,6 +222,7 @@ fn init_env_knobs() -> Result<(), String> {
     sustain_hpc::core::sweep::init_threads_from_env().map_err(|e| e.to_string())?;
     sustain_hpc::scheduler::sim::init_par_pending_min_from_env().map_err(|e| e.to_string())?;
     sustain_hpc::core::sweep::init_trace_cache_cap_from_env().map_err(|e| e.to_string())?;
+    sustain_hpc::sim_core::faults::init_from_env().map_err(|e| e.to_string())?;
     Ok(())
 }
 
@@ -189,6 +234,7 @@ fn serve_forever(args: &Args) -> Result<(), String> {
         addr: args.addr.clone(),
         max_inflight: args.max_inflight,
         queue_depth: args.queue_depth,
+        read_timeout_ms: args.read_timeout_ms,
     };
     let handle = sustain_hpc::service::serve(options)
         .map_err(|e| format!("cannot bind {}: {e}", args.addr))?;
@@ -200,7 +246,7 @@ fn serve_forever(args: &Args) -> Result<(), String> {
     while !sustain_hpc::service::signal::triggered() && !handle.shutdown_requested() {
         std::thread::sleep(std::time::Duration::from_millis(50));
     }
-    eprintln!("shutting down: draining in-flight requests");
+    eprintln!("shutting down: cancelling in-flight work and draining the queue");
     handle.shutdown_and_join();
     eprintln!("drained; all accepted requests were answered");
     Ok(())
@@ -376,7 +422,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: sustain-hpc <experiment|all|list|run|sweep|serve> [--out DIR] [--seed N] [--days N] [--threads N] [--stats] [--request FILE] [--addr HOST:PORT] [--max-inflight N] [--queue-depth N]"
+                "usage: sustain-hpc <experiment|all|list|run|sweep|serve> [--out DIR] [--seed N] [--days N] [--threads N] [--stats] [--request FILE] [--timeout SECS] [--journal FILE] [--addr HOST:PORT] [--max-inflight N] [--queue-depth N] [--read-timeout-ms N]"
             );
             return ExitCode::FAILURE;
         }
@@ -414,9 +460,14 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        "run" => match load_request::<sustain_hpc::service::RunRequest>(&args.request)
-            .and_then(|req| sustain_hpc::service::run_body(&req).map_err(|e| e.to_string()))
-        {
+        "run" => match load_request::<sustain_hpc::service::RunRequest>(&args.request).and_then(
+            |mut req| {
+                if let Some(ms) = timeout_ms_of(&args) {
+                    req.timeout_ms = Some(ms);
+                }
+                sustain_hpc::service::run_body(&req).map_err(|e| e.to_string())
+            },
+        ) {
             Ok(body) => {
                 println!("{body}");
                 ExitCode::SUCCESS
@@ -426,18 +477,29 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
-        "sweep" => match load_request::<sustain_hpc::service::SweepRequest>(&args.request)
-            .and_then(|req| sustain_hpc::service::sweep_body(&req).map_err(|e| e.to_string()))
-        {
-            Ok(body) => {
-                println!("{body}");
-                ExitCode::SUCCESS
+        "sweep" => {
+            match load_request::<sustain_hpc::service::SweepRequest>(&args.request).and_then(
+                |mut req| {
+                    if let Some(ms) = timeout_ms_of(&args) {
+                        req.timeout_ms = Some(ms);
+                    }
+                    match &args.journal {
+                        Some(path) => sustain_hpc::service::sweep_body_resumable(&req, path, None)
+                            .map_err(|e| e.to_string()),
+                        None => sustain_hpc::service::sweep_body(&req).map_err(|e| e.to_string()),
+                    }
+                },
+            ) {
+                Ok(body) => {
+                    println!("{body}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
             }
-            Err(e) => {
-                eprintln!("error: {e}");
-                ExitCode::FAILURE
-            }
-        },
+        }
         "serve" => match serve_forever(&args) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {

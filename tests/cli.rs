@@ -118,8 +118,22 @@ fn invalid_env_knobs_are_rejected_with_typed_errors() {
         ("SUSTAIN_THREADS", "1.5"),
         ("SUSTAIN_PAR_PENDING_MIN", "abc"),
         ("SUSTAIN_TRACE_CACHE_CAP", "0x10"),
+        ("SUSTAIN_FAULTS", "nonsense"),
+        ("SUSTAIN_FAULTS", "sim::tick:explode:1"),
+        ("SUSTAIN_FAULTS", "sim::tick:panic:p2.0"),
+        ("SUSTAIN_FAULTS_SEED", "not-a-seed"),
     ] {
-        let out = bin().arg("list").env(var, val).output().unwrap();
+        let out = if var == "SUSTAIN_FAULTS_SEED" {
+            // The seed is only read when a fault plan is present.
+            bin()
+                .arg("list")
+                .env("SUSTAIN_FAULTS", "sim::tick:panic:1")
+                .env(var, val)
+                .output()
+                .unwrap()
+        } else {
+            bin().arg("list").env(var, val).output().unwrap()
+        };
         assert!(
             !out.status.success(),
             "{var}={val} must be rejected, not silently ignored"
@@ -140,6 +154,11 @@ fn valid_env_knobs_are_accepted() {
         .env("SUSTAIN_THREADS", "2")
         .env("SUSTAIN_PAR_PENDING_MIN", "64")
         .env("SUSTAIN_TRACE_CACHE_CAP", "8")
+        .env(
+            "SUSTAIN_FAULTS",
+            "sweep::point:delay:3,sim::tick:panic:p0.5",
+        )
+        .env("SUSTAIN_FAULTS_SEED", "9")
         .output()
         .unwrap();
     assert!(
@@ -147,6 +166,47 @@ fn valid_env_knobs_are_accepted() {
         "valid knobs must not fail: {}",
         String::from_utf8_lossy(&out.stderr)
     );
+}
+
+#[test]
+fn timeout_flag_cancels_a_long_run_with_a_typed_error() {
+    // A run that takes seconds against a millisecond budget: the
+    // deadline must cancel it with a typed error on stderr — nonzero
+    // exit, no panic, and a reason naming the deadline.
+    let file =
+        std::env::temp_dir().join(format!("sustain-cli-timeout-{}.json", std::process::id()));
+    std::fs::write(&file, br#"{"days": 365, "nodes": 2000}"#).unwrap();
+    let out = bin()
+        .args(["run", "--request"])
+        .arg(&file)
+        .args(["--timeout", "0.001"])
+        .output()
+        .unwrap();
+    std::fs::remove_file(&file).ok();
+    assert!(!out.status.success(), "timed-out run must exit nonzero");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        err.contains("error:") && err.contains("cancelled") && err.contains("deadline"),
+        "stderr was {err:?}"
+    );
+    assert!(!err.contains("panicked"), "panicked: {err}");
+
+    // A generous budget changes nothing: same bytes as no --timeout.
+    let plain = bin().arg("run").output().unwrap();
+    let bounded = bin().args(["run", "--timeout", "600"]).output().unwrap();
+    assert!(plain.status.success() && bounded.status.success());
+    assert_eq!(
+        plain.stdout, bounded.stdout,
+        "an unexpired deadline must not change the result"
+    );
+
+    // A malformed budget is a usage error.
+    for bad in ["0", "-1", "abc", "inf"] {
+        let out = bin().args(["run", "--timeout", bad]).output().unwrap();
+        assert!(!out.status.success(), "--timeout {bad} must be rejected");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(err.contains("error:") && err.contains("timeout"), "{err:?}");
+    }
 }
 
 #[test]

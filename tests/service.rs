@@ -1,6 +1,7 @@
 //! Integration tests for the experiment service: byte-identity between
 //! concurrent HTTP responses and one-shot CLI output, overload
-//! behaviour, typed errors, and graceful drain.
+//! behaviour, typed errors, idle-connection timeouts, and
+//! cancel-on-shutdown drain.
 //!
 //! The server runs in-process (so tests can steer the thread budget and
 //! observe `in_flight`); the CLI runs as a real subprocess — exactly
@@ -123,6 +124,7 @@ fn overload_returns_429_and_the_stalled_request_still_completes() {
         addr: "127.0.0.1:0".to_string(),
         max_inflight: 1,
         queue_depth: 1,
+        ..ServeOptions::default()
     })
     .expect("serve");
     let addr = handle.local_addr();
@@ -188,10 +190,12 @@ fn overload_returns_429_and_the_stalled_request_still_completes() {
     handle.shutdown_and_join();
 }
 
-/// Shutdown drains: a request in flight when shutdown begins still gets
-/// its full response before the workers exit.
+/// Shutdown cancels: a request in flight when shutdown begins is
+/// answered with a typed 408 `Cancelled` body instead of holding the
+/// drain hostage — and still gets a full response before the workers
+/// exit (the worker drains by answering, never by dropping).
 #[test]
-fn shutdown_drains_in_flight_requests() {
+fn shutdown_cancels_in_flight_requests_with_typed_408() {
     let handle = serve(ServeOptions::default()).expect("serve");
     let addr = handle.local_addr();
 
@@ -215,20 +219,85 @@ fn shutdown_drains_in_flight_requests() {
         std::thread::sleep(Duration::from_millis(2));
     }
 
-    // Shutdown begins while the request is mid-read.
+    // Shutdown begins while the request is mid-read: the server token
+    // is already cancelled when the body finally arrives, so the run
+    // is cooperatively cancelled before simulating anything.
     handle.shutdown();
     inflight.write_all(body.as_bytes()).expect("send body");
     let mut response = String::new();
     inflight.read_to_string(&mut response).expect("recv");
     let (status, drained) = parse_response(&response);
-    assert_eq!(status, 200, "{drained}");
-    assert!(
-        drained.contains("\"outcome\""),
-        "drained response is incomplete"
-    );
+    assert_eq!(status, 408, "{drained}");
+    let v: serde_json::Value = serde_json::from_str(&drained).expect("typed body");
+    assert_eq!(v["error"]["kind"].as_str(), Some("cancelled"), "{drained}");
+    assert!(drained.contains("shutdown requested"), "{drained}");
 
     // join() returning proves every worker exited after the drain.
     handle.join();
+}
+
+/// A stalled `/sweep` in flight at shutdown is cancelled with a typed
+/// `Cancelled` body (carrying partial-progress stats) instead of
+/// blocking the drain until every remaining point has simulated.
+#[test]
+fn stalled_sweep_is_cancelled_rather_than_blocking_shutdown() {
+    let handle = serve(ServeOptions::default()).expect("serve");
+    let addr = handle.local_addr();
+
+    // Big enough that it cannot finish between "worker picked it up"
+    // and the shutdown call a few milliseconds later.
+    let sweep_req =
+        r#"{"base": {"nodes": 2000}, "axis": "days", "values": [100, 120, 140]}"#.to_string();
+    let requester = std::thread::spawn(move || post(addr, "/sweep", &sweep_req));
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while handle.in_flight() < 1 {
+        assert!(
+            Instant::now() < deadline,
+            "worker never picked up the sweep"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    handle.shutdown();
+    let (status, body) = requester.join().expect("request thread");
+    assert_eq!(status, 408, "{body}");
+    let v: serde_json::Value = serde_json::from_str(&body).expect("typed body");
+    assert_eq!(v["error"]["kind"].as_str(), Some("cancelled"), "{body}");
+    assert!(body.contains("sweep points completed"), "{body}");
+
+    handle.join();
+}
+
+/// An idle connection — opened, never sending a request — is answered
+/// a typed 408 `timeout` once the read deadline fires, instead of
+/// pinning a worker until the peer goes away.
+#[test]
+fn idle_connection_is_timed_out_with_typed_408() {
+    let handle = serve(ServeOptions {
+        read_timeout_ms: 200,
+        ..ServeOptions::default()
+    })
+    .expect("serve");
+    let addr = handle.local_addr();
+
+    let started = Instant::now();
+    let mut idle = TcpStream::connect(addr).expect("connect");
+    let mut response = String::new();
+    idle.read_to_string(&mut response).expect("recv");
+    let (status, body) = parse_response(&response);
+    assert_eq!(status, 408, "{body}");
+    let v: serde_json::Value = serde_json::from_str(&body).expect("typed body");
+    assert_eq!(v["error"]["kind"].as_str(), Some("timeout"), "{body}");
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "timeout took far longer than the configured deadline"
+    );
+
+    // The worker that served the idle peer is still alive for real work.
+    let (status, _) = http(addr, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 200);
+
+    handle.shutdown_and_join();
 }
 
 /// Typed error surface over real sockets: malformed JSON, unknown

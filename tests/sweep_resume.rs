@@ -1,0 +1,116 @@
+//! Kill-and-resume: a journaled sweep killed hard (SIGKILL, no
+//! cleanup) and restarted with the same journal must print output
+//! byte-identical to an uninterrupted run — the crash-resumability
+//! contract of `--journal` — at more than one thread setting. The
+//! journal itself must carry the sweep driver's derived per-point
+//! seeds, so replayed and freshly-run points are provably the same
+//! computation.
+
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sustain-hpc"))
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("sweep-resume-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn killed_sweep_resumes_byte_identical_across_thread_counts() {
+    // ~200ms per point: slow enough that the kill lands mid-run, fast
+    // enough for CI.
+    let request = r#"{"base": {"nodes": 800}, "axis": "days", "values": [20, 26, 32, 38]}"#;
+    let req_file = temp_path("request.json");
+    std::fs::write(&req_file, request).expect("write request file");
+
+    for threads in ["1", "2"] {
+        let journal = temp_path(&format!("journal-{threads}.jsonl"));
+        std::fs::remove_file(&journal).ok();
+
+        let reference = bin()
+            .args(["sweep", "--request"])
+            .arg(&req_file)
+            .args(["--threads", threads])
+            .output()
+            .expect("reference sweep runs");
+        assert!(
+            reference.status.success(),
+            "reference sweep failed: {}",
+            String::from_utf8_lossy(&reference.stderr)
+        );
+
+        // Start the journaled run; kill it hard once at least one
+        // point has been committed. If the sweep wins the race and
+        // finishes first, the resume below simply replays everything —
+        // the identity assertion still holds.
+        let mut child = bin()
+            .args(["sweep", "--request"])
+            .arg(&req_file)
+            .args(["--threads", threads, "--journal"])
+            .arg(&journal)
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn journaled sweep");
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            let committed = std::fs::read_to_string(&journal)
+                .map(|t| t.lines().count())
+                .unwrap_or(0);
+            if committed >= 1 || child.try_wait().expect("try_wait").is_some() {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "no journal entry appeared within 60s"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        child.kill().ok();
+        child.wait().expect("reap killed sweep");
+
+        // Resume against the same (possibly torn) journal: replayed
+        // points plus freshly-run points, byte-identical output.
+        let resumed = bin()
+            .args(["sweep", "--request"])
+            .arg(&req_file)
+            .args(["--threads", threads, "--journal"])
+            .arg(&journal)
+            .output()
+            .expect("resumed sweep runs");
+        assert!(
+            resumed.status.success(),
+            "resume failed at {threads} thread(s): {}",
+            String::from_utf8_lossy(&resumed.stderr)
+        );
+        assert_eq!(
+            String::from_utf8_lossy(&resumed.stdout),
+            String::from_utf8_lossy(&reference.stdout),
+            "resumed sweep must be byte-identical to an uninterrupted run at {threads} thread(s)"
+        );
+
+        // The completed journal holds every point, each stamped with
+        // the sweep driver's derived seed (master_seed defaults to
+        // 2023 in the request schema).
+        let text = std::fs::read_to_string(&journal).expect("journal exists after resume");
+        let mut seen = [false; 4];
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            let v: serde_json::Value =
+                serde_json::from_str(line).expect("post-resume journal lines all parse");
+            let index = v["index"].as_u64().expect("index") as usize;
+            let seed = v["seed"].as_u64().expect("seed");
+            assert_eq!(
+                seed,
+                sustain_hpc::core::sweep::point_seed(2023, index as u64),
+                "journal seed at point {index} must match the driver derivation"
+            );
+            seen[index] = true;
+        }
+        assert_eq!(seen, [true; 4], "every point journaled after resume");
+        std::fs::remove_file(&journal).ok();
+    }
+    std::fs::remove_file(&req_file).ok();
+}

@@ -503,6 +503,17 @@ impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
 mod tests {
     use super::prelude::*;
 
+    /// Tests that reason about the exact state of the process-wide
+    /// extra-worker budget serialize here, so one test's transient
+    /// leases cannot fail another's accounting assertions.
+    static BUDGET_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn budget_lock() -> std::sync::MutexGuard<'static, ()> {
+        BUDGET_LOCK
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     #[test]
     fn map_collect_preserves_order() {
         let input: Vec<u64> = (0..1000).collect();
@@ -571,6 +582,7 @@ mod tests {
         // is (mostly) leased out, so inner pipelines degrade toward
         // inline execution instead of oversubscribing; either way the
         // result is index-ordered and identical to serial.
+        let _guard = budget_lock();
         let cap = super::current_num_threads().saturating_sub(1);
         let outer: Vec<u64> = (0..128).collect();
         let got: Vec<u64> = outer
@@ -600,6 +612,7 @@ mod tests {
     fn worker_leases_draw_down_the_budget_and_restore_on_drop() {
         // Serialize against other budget-touching tests by grabbing the
         // whole budget: lease until exhaustion, then verify restore.
+        let _guard = budget_lock();
         let mut held = Vec::new();
         while let Some(lease) = super::try_lease_worker() {
             held.push(lease);
@@ -613,5 +626,56 @@ mod tests {
         let before = super::available_extra_workers();
         drop(held);
         assert!(super::available_extra_workers() >= before);
+    }
+
+    #[test]
+    fn panicking_pipeline_releases_its_worker_leases() {
+        use std::sync::atomic::Ordering;
+
+        let _guard = budget_lock();
+        let prev = super::GLOBAL_THREADS.load(Ordering::Relaxed);
+        super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build_global()
+            .unwrap();
+        let before = super::EXTRA_IN_USE.load(Ordering::Relaxed);
+
+        // A worker panics mid-pipeline; the enclosing scope resumes the
+        // unwind on the caller, which must drop the budget lease.
+        let input: Vec<u64> = (0..4096).collect();
+        let result = std::panic::catch_unwind(|| {
+            let _out: Vec<u64> = input
+                .par_iter()
+                .map(|&x| {
+                    assert_ne!(x, 2048, "injected worker panic");
+                    x
+                })
+                .collect();
+        });
+        assert!(result.is_err(), "pipeline must propagate the worker panic");
+
+        // Other (non-budget) tests may transiently lease concurrently,
+        // so poll rather than demand an instantaneous exact value.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while super::EXTRA_IN_USE.load(Ordering::Relaxed) > before {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "a worker lease was stranded after the panic"
+            );
+            std::thread::yield_now();
+        }
+
+        // The budget is usable again: a fresh pipeline runs and stays
+        // ordered, and single leases can still be acquired and returned.
+        let out: Vec<u64> = (0u64..64).into_par_iter().map(|x| x * 3).collect();
+        assert_eq!(out, (0u64..64).map(|x| x * 3).collect::<Vec<_>>());
+        if let Some(lease) = super::try_lease_worker() {
+            drop(lease);
+        }
+
+        super::ThreadPoolBuilder::new()
+            .num_threads(prev)
+            .build_global()
+            .unwrap();
     }
 }

@@ -23,6 +23,7 @@ use sustain_scheduler::sim::simulate;
 struct Row {
     scenario: &'static str,
     threads: usize,
+    cpu_cores: usize,
     wall_s: f64,
     samples: usize,
     pre_pr_wall_s: f64,
@@ -64,6 +65,9 @@ fn time_scenario(
 
 fn main() {
     let corpus = scenarios(Scale::Full);
+    let cpu_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut rows = Vec::new();
     for threads in [1usize, 2] {
         sustain_hpc_core::sweep::set_threads(threads);
@@ -74,6 +78,7 @@ fn main() {
             rows.push(Row {
                 scenario: sc.name,
                 threads,
+                cpu_cores,
                 wall_s,
                 samples,
                 pre_pr_wall_s: baseline,

@@ -8,6 +8,7 @@
 //!
 //! * [`scenario`] — end-to-end runs: grid trace → power budget → scheduled
 //!   workload → per-job carbon accounting → facility carbon;
+//! * [`cache`] — content-addressed memoization of whole scenario results;
 //! * [`experiments`] — one function per figure, table, and quantitative
 //!   claim of the paper (see the table in that module's docs).
 //!
@@ -37,10 +38,13 @@
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod cache;
 pub mod experiments;
 pub mod scenario;
 pub mod site;
 pub mod sweep;
+
+pub use cache::{global_outcome_cache, init_outcome_cache_cap_from_env, OutcomeCache, OutcomeKey};
 
 pub use scenario::{run, run_with_ctl, try_run, try_run_with_ctl, Scenario, ScenarioResult};
 pub use site::{lifetime_report, LifetimeCarbonReport, Site};
@@ -48,14 +52,15 @@ pub use site::{lifetime_report, LifetimeCarbonReport, Site};
 /// Convenience prelude: the most commonly used items across the
 /// workspace.
 pub mod prelude {
+    pub use crate::cache::{global_outcome_cache, OutcomeCache, OutcomeKey};
     pub use crate::experiments::*;
     pub use crate::scenario::{
         run, run_with_ctl, try_run, try_run_with_ctl, Scenario, ScenarioResult,
     };
     pub use crate::site::{lifetime_report, LifetimeCarbonReport, Site};
     pub use crate::sweep::{
-        calibrated_trace, set_threads, sweep, sweep_seeded, try_sweep, try_sweep_resumable,
-        try_sweep_seeded, try_sweep_seeded_with_ctl, PointError,
+        calibrated_trace, set_threads, sweep, sweep_seeded, try_sweep, try_sweep_memo_with_ctl,
+        try_sweep_resumable, try_sweep_seeded, try_sweep_seeded_with_ctl, PointError,
     };
     pub use sustain_carbon_model::metrics::DesignMetric;
     pub use sustain_carbon_model::system::SystemInventory;

@@ -35,6 +35,7 @@
 //! `nested_pipelines_share_the_budget_and_stay_ordered` test).
 
 use serde::{Deserialize, Serialize, Value};
+use std::collections::HashMap;
 use std::fs::File;
 use std::io::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -46,6 +47,7 @@ use sustain_grid::synth::generate_calibrated_arc;
 use sustain_grid::trace::CarbonTrace;
 use sustain_sim_core::ctl::RunCtl;
 use sustain_sim_core::error::{env_knob_usize, ConfigError, SimError};
+use sustain_sim_core::hash::CanonicalHash;
 use sustain_sim_core::rng::RngStream;
 use sustain_sim_core::time::SimTime;
 
@@ -324,6 +326,77 @@ where
             completed.load(Ordering::Relaxed),
             points.len(),
         )),
+        None => Ok(results),
+    }
+}
+
+/// Content-addressed variant of [`try_sweep_seeded_with_ctl`] for pure
+/// point functions: duplicate points collapse to one computation.
+///
+/// The driver fingerprints every point with [`CanonicalHash`] up front,
+/// computes only the first occurrence of each distinct fingerprint (in
+/// parallel, with the same `sweep::point` fault boundary and per-point
+/// cancellation checks), then fans each result back out to every slot
+/// that shares the fingerprint — output order is exactly input order,
+/// and unique points produce bit-identical results to the non-memo
+/// driver.
+///
+/// Unlike the seeded drivers, `f` receives **no** per-point sub-seed:
+/// deduplicating by content is only sound when the point value is the
+/// entire input (any seed must already be baked into `P`, as
+/// `service::sweep_scenarios` does). Duplicate slots of a *failed*
+/// representative share its error verbatim.
+pub fn try_sweep_memo_with_ctl<P, R, F>(
+    points: &[P],
+    ctl: &RunCtl,
+    f: F,
+) -> Result<Vec<Result<R, SimError>>, SimError>
+where
+    P: Sync + CanonicalHash,
+    R: Send + Clone,
+    F: Fn(&P) -> Result<R, SimError> + Sync,
+{
+    // Fingerprint serially (hashing is trivial next to a point run) and
+    // pick the first slot of each distinct fingerprint as representative.
+    let fingerprints: Vec<u64> = points.iter().map(|p| p.canonical_hash()).collect();
+    let mut representative: HashMap<u64, usize> = HashMap::new();
+    let mut unique: Vec<usize> = Vec::new();
+    for (index, &fp) in fingerprints.iter().enumerate() {
+        representative.entry(fp).or_insert_with(|| {
+            unique.push(index);
+            index
+        });
+    }
+
+    let unique_results: Vec<Result<R, SimError>> = unique
+        .par_iter()
+        .map(|&index| {
+            if let Some(reason) = ctl.cancelled_reason() {
+                return Err(SimError::Cancelled {
+                    at_sim_time: SimTime::ZERO,
+                    reason,
+                });
+            }
+            run_point(index, || f(&points[index]))
+        })
+        .collect();
+    let by_rep: HashMap<usize, &Result<R, SimError>> =
+        unique.iter().copied().zip(unique_results.iter()).collect();
+
+    // Fan back out in input order; duplicates clone their representative.
+    let results: Vec<Result<R, SimError>> = fingerprints
+        .iter()
+        .map(|fp| {
+            let rep = representative[fp];
+            // Every representative is in the map by construction.
+            by_rep[&rep].clone()
+        })
+        .collect();
+    match ctl.cancelled_reason() {
+        Some(reason) => {
+            let completed = results.iter().filter(|r| r.is_ok()).count();
+            Err(sweep_cancelled(reason, completed, points.len()))
+        }
         None => Ok(results),
     }
 }
@@ -657,6 +730,54 @@ mod tests {
         assert_eq!(seeds.len(), points.len(), "per-point seeds must differ");
         let other = sweep_seeded(43, &points, |_, seed| seed);
         assert_ne!(other, first.iter().map(|(_, s)| *s).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn memo_sweep_collapses_duplicates_and_preserves_order() {
+        use std::sync::atomic::AtomicUsize;
+        let points: Vec<u64> = vec![3, 7, 3, 9, 7, 3];
+        let ctl = RunCtl::unlimited();
+        let computed = AtomicUsize::new(0);
+        let results = try_sweep_memo_with_ctl(&points, &ctl, |&x| {
+            computed.fetch_add(1, Ordering::Relaxed);
+            Ok(x * 100)
+        })
+        .unwrap();
+        assert_eq!(computed.load(Ordering::Relaxed), 3, "3 distinct points");
+        let rows: Vec<u64> = results.into_iter().map(Result::unwrap).collect();
+        assert_eq!(rows, vec![300, 700, 300, 900, 700, 300]);
+    }
+
+    #[test]
+    fn memo_sweep_matches_non_memo_on_distinct_points() {
+        let points: Vec<u64> = (0..33).collect();
+        let ctl = RunCtl::unlimited();
+        let memo = try_sweep_memo_with_ctl(&points, &ctl, |&x| Ok::<_, SimError>(x * 3)).unwrap();
+        let plain =
+            try_sweep_seeded_with_ctl(1, &points, &ctl, |&x, _seed| Ok::<_, SimError>(x * 3))
+                .unwrap();
+        let memo: Vec<u64> = memo.into_iter().map(Result::unwrap).collect();
+        let plain: Vec<u64> = plain.into_iter().map(Result::unwrap).collect();
+        assert_eq!(memo, plain);
+    }
+
+    #[test]
+    fn memo_sweep_duplicates_share_a_failed_representative() {
+        let points: Vec<u64> = vec![5, 6, 5];
+        let ctl = RunCtl::unlimited();
+        let results = try_sweep_memo_with_ctl(&points, &ctl, |&x| {
+            if x == 5 {
+                Err(SimError::InvalidInput {
+                    message: "five is out".into(),
+                })
+            } else {
+                Ok(x)
+            }
+        })
+        .unwrap();
+        assert!(results[0].is_err());
+        assert!(results[1].is_ok());
+        assert_eq!(results[0], results[2], "duplicate shares the error");
     }
 
     #[test]

@@ -10,15 +10,15 @@
 
 use crate::region::RegionProfile;
 use crate::trace::CarbonTrace;
-use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
+use sustain_sim_core::cache::LruCache;
 use sustain_sim_core::error::{env_knob_usize, ConfigError};
+use sustain_sim_core::hash::{CanonicalHash, CanonicalHasher};
 use sustain_sim_core::rng::RngStream;
 use sustain_sim_core::series::TimeSeries;
 use sustain_sim_core::time::{SimDuration, SimTime};
+
+pub use sustain_sim_core::cache::CacheStats;
 
 /// Minimum physical intensity; traces are clamped here to avoid negative
 /// excursions in very clean or very volatile configurations.
@@ -129,30 +129,35 @@ pub struct TraceKey {
 impl TraceKey {
     /// Fingerprint a `(profile, days, seed)` generation request.
     pub fn new(profile: &RegionProfile, days: usize, seed: u64) -> TraceKey {
-        let mut h = 0xCBF2_9CE4_8422_2325u64; // FNV-1a offset basis
-        let mut mix = |bytes: &[u8]| {
-            for &b in bytes {
-                h ^= b as u64;
-                h = h.wrapping_mul(0x0000_0100_0000_01B3);
-            }
-        };
-        mix(profile.name.as_bytes());
-        for param in [
-            profile.mean_g_per_kwh,
-            profile.diurnal_amplitude,
-            profile.solar_dip,
-            profile.synoptic_std,
-            profile.synoptic_corr_hours,
-            profile.noise_std,
-            profile.weekend_drop,
-        ] {
-            mix(&param.to_bits().to_le_bytes());
-        }
         TraceKey {
-            profile_fingerprint: h,
+            profile_fingerprint: profile.canonical_hash(),
             days,
             seed,
         }
+    }
+}
+
+impl CanonicalHash for RegionProfile {
+    fn canonical_hash_into(&self, hasher: &mut CanonicalHasher) {
+        hasher.write_str(&self.name);
+        for param in [
+            self.mean_g_per_kwh,
+            self.diurnal_amplitude,
+            self.solar_dip,
+            self.synoptic_std,
+            self.synoptic_corr_hours,
+            self.noise_std,
+            self.weekend_drop,
+        ] {
+            hasher.write_f64(param);
+        }
+    }
+}
+
+impl CanonicalHash for CarbonTrace {
+    fn canonical_hash_into(&self, hasher: &mut CanonicalHasher) {
+        hasher.write_str(self.name());
+        self.series().canonical_hash_into(hasher);
     }
 }
 
@@ -165,41 +170,6 @@ pub const DEFAULT_TRACE_CACHE_CAPACITY: usize = 256;
 /// Environment variable overriding the global trace cache capacity
 /// (`0` = unbounded).
 pub const TRACE_CACHE_CAP_ENV: &str = "SUSTAIN_TRACE_CACHE_CAP";
-
-/// Counter and occupancy snapshot from [`TraceCache::stats`].
-/// Serializable so a service front-end can expose it on a stats
-/// endpoint as structured JSON.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
-pub struct CacheStats {
-    /// Requests served from the cache.
-    pub hits: u64,
-    /// Requests that had to generate (including racing first requests).
-    pub misses: u64,
-    /// Entries evicted to enforce the capacity bound.
-    pub evictions: u64,
-    /// Traces currently cached.
-    pub len: usize,
-    /// Capacity bound (`0` = unbounded).
-    pub capacity: usize,
-}
-
-#[derive(Debug)]
-struct CacheEntry {
-    trace: Arc<CarbonTrace>,
-    /// Logical timestamp of the most recent access (every cache request
-    /// advances the clock), so eviction can pick the least recently used
-    /// entry deterministically — timestamps are unique.
-    last_used: u64,
-}
-
-#[derive(Debug, Default)]
-struct CacheInner {
-    map: HashMap<TraceKey, CacheEntry>,
-    tick: u64,
-    hits: u64,
-    misses: u64,
-    evictions: u64,
-}
 
 /// Process-wide cache of calibrated traces, shared by every sweep point.
 ///
@@ -217,8 +187,7 @@ struct CacheInner {
 /// [`stats`]: TraceCache::stats
 #[derive(Debug)]
 pub struct TraceCache {
-    capacity: AtomicUsize,
-    inner: Mutex<CacheInner>,
+    inner: LruCache<TraceKey, Arc<CarbonTrace>>,
 }
 
 impl Default for TraceCache {
@@ -237,22 +206,19 @@ impl TraceCache {
     /// (`0` = unbounded).
     pub fn with_capacity(capacity: usize) -> TraceCache {
         TraceCache {
-            capacity: AtomicUsize::new(capacity),
-            inner: Mutex::new(CacheInner::default()),
+            inner: LruCache::with_capacity(capacity),
         }
     }
 
     /// Current capacity bound (`0` = unbounded).
     pub fn capacity(&self) -> usize {
-        self.capacity.load(Ordering::Relaxed)
+        self.inner.capacity()
     }
 
     /// Change the capacity bound, immediately evicting down to it if the
     /// cache currently holds more entries.
     pub fn set_capacity(&self, capacity: usize) {
-        self.capacity.store(capacity, Ordering::Relaxed);
-        let mut guard = self.inner.lock();
-        Self::evict_to_cap(&mut guard, capacity);
+        self.inner.set_capacity(capacity);
     }
 
     /// Fetch the calibrated trace for `(profile, days, seed)`, generating
@@ -266,16 +232,8 @@ impl TraceCache {
         seed: u64,
     ) -> Arc<CarbonTrace> {
         let key = TraceKey::new(profile, days, seed);
-        {
-            let mut guard = self.inner.lock();
-            let inner = &mut *guard;
-            inner.tick += 1;
-            let now = inner.tick;
-            if let Some(entry) = inner.map.get_mut(&key) {
-                entry.last_used = now;
-                inner.hits += 1;
-                return Arc::clone(&entry.trace);
-            }
+        if let Some(trace) = self.inner.lookup(&key) {
+            return trace;
         }
         // Generate outside any lock: concurrent first requests may race and
         // generate twice, but generation is deterministic so both produce
@@ -283,73 +241,28 @@ impl TraceCache {
         // here too, so an injected panic never poisons the cache lock.
         sustain_sim_core::faultpoint!(infallible "grid::trace_fill");
         let trace = Arc::new(generate_calibrated(profile, days, seed));
-        let mut guard = self.inner.lock();
-        let inner = &mut *guard;
-        inner.tick += 1;
-        let now = inner.tick;
-        inner.misses += 1;
-        let entry = inner.map.entry(key).or_insert(CacheEntry {
-            trace,
-            last_used: now,
-        });
-        entry.last_used = now;
-        let arc = Arc::clone(&entry.trace);
-        let cap = self.capacity.load(Ordering::Relaxed);
-        Self::evict_to_cap(inner, cap);
-        arc
+        self.inner.insert_after_miss(key, trace)
     }
 
     /// Hit/miss/eviction counters and current occupancy.
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock();
-        CacheStats {
-            hits: inner.hits,
-            misses: inner.misses,
-            evictions: inner.evictions,
-            len: inner.map.len(),
-            capacity: self.capacity.load(Ordering::Relaxed),
-        }
+        self.inner.stats()
     }
 
     /// Number of cached traces.
     pub fn len(&self) -> usize {
-        self.inner.lock().map.len()
+        self.inner.len()
     }
 
     /// `true` if nothing is cached.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.inner.is_empty()
     }
 
     /// Drop all cached traces. The hit/miss/eviction counters are
     /// preserved (dropped entries do not count as evictions).
     pub fn clear(&self) {
-        self.inner.lock().map.clear();
-    }
-
-    /// Evicts least-recently-used entries until `len <= cap`. Access
-    /// timestamps are unique, so the victim order is deterministic
-    /// regardless of `HashMap` iteration order.
-    fn evict_to_cap(inner: &mut CacheInner, cap: usize) {
-        if cap == 0 {
-            return;
-        }
-        while inner.map.len() > cap {
-            // O(len) scan; len is bounded by the capacity and eviction is
-            // off the generation hot path.
-            let victim = inner
-                .map
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(&k, _)| k);
-            match victim {
-                Some(k) => {
-                    inner.map.remove(&k);
-                    inner.evictions += 1;
-                }
-                None => break,
-            }
-        }
+        self.inner.clear();
     }
 }
 

@@ -17,11 +17,12 @@ use serde::{DeError, Deserialize, Serialize, Value};
 use std::path::Path;
 use sustain_grid::region::{Region, RegionProfile};
 use sustain_hpc_core::scenario::{run_with_ctl, Scenario, ScenarioResult};
-use sustain_hpc_core::sweep::{point_seed, try_sweep_resumable, try_sweep_seeded_with_ctl};
+use sustain_hpc_core::sweep::{point_seed, try_sweep_memo_with_ctl, try_sweep_resumable};
 use sustain_scheduler::cluster::Cluster;
 use sustain_scheduler::sim::{CarbonAwareCfg, Policy};
 use sustain_sim_core::ctl::{CancelToken, Deadline, RunCtl};
 use sustain_sim_core::error::{ConfigError, SimError, Validate};
+use sustain_sim_core::hash::CanonicalHash;
 
 /// Looks a region up by name, case-insensitively and ignoring spaces
 /// (`"greatbritain"`, `"Great Britain"`, and `"GreatBritain"` all
@@ -175,6 +176,20 @@ impl RunRequest {
         scenario.malleable = self.malleable;
         Ok(scenario)
     }
+}
+
+/// Deterministic entity tag for a run request: the quoted hex canonical
+/// hash of the scenario the request materializes. The simulation is a
+/// pure function of that scenario (seed included), so the tag
+/// fingerprints the *response* without running anything — the server
+/// can answer `If-None-Match` with `304 Not Modified` before any
+/// simulation work. Returns `None` when the request does not
+/// materialize a valid scenario (that request is headed for a 400
+/// anyway, which carries no tag).
+pub fn run_etag(req: &RunRequest) -> Option<String> {
+    let scenario = req.to_scenario().ok()?;
+    scenario.validate().ok()?;
+    Some(format!("\"{:016x}\"", scenario.canonical_hash()))
 }
 
 /// Builds the cancellation control for one request: the request's own
@@ -481,11 +496,12 @@ pub fn sweep_body_with_ctl(
 ) -> Result<String, SimError> {
     let scenarios = sweep_scenarios(req)?;
     let ctl = request_ctl(req.timeout_ms, token);
-    // Points already validated: run each under the same control so a
-    // mid-point cancellation surfaces promptly. The derived sub-seed
-    // argument is the same `point_seed` already applied by
-    // `sweep_scenarios`.
-    let results = try_sweep_seeded_with_ctl(req.master_seed, &scenarios, &ctl, |scenario, _| {
+    // Points already validated, and each point's effective seed is
+    // already baked into its scenario by `sweep_scenarios` (including
+    // the derived `point_seed` sub-seeds) — so the content-addressed
+    // memo driver is sound here: duplicate axis values collapse to one
+    // simulation and fan the identical row back out in order.
+    let results = try_sweep_memo_with_ctl(&scenarios, &ctl, |scenario| {
         run_with_ctl(scenario, &ctl).map(|r| sweep_row(scenario.seed, r))
     })?;
     render_sweep_response(req, results)

@@ -35,6 +35,10 @@ pub struct Request {
     pub path: String,
     /// Raw request body (empty when no `Content-Length` was sent).
     pub body: Vec<u8>,
+    /// Verbatim `If-None-Match` header value, if the client sent one.
+    /// `POST /run` compares it against the deterministic scenario ETag
+    /// and answers `304 Not Modified` on an exact match.
+    pub if_none_match: Option<String>,
 }
 
 /// Why a request could not be parsed. Every variant maps to a 4xx
@@ -195,6 +199,7 @@ pub fn read_request(
 
     let mut content_length: usize = 0;
     let mut expects_continue = false;
+    let mut if_none_match: Option<String> = None;
     for line in lines {
         if line.is_empty() {
             continue;
@@ -210,6 +215,8 @@ pub fn read_request(
         } else if name.eq_ignore_ascii_case("expect") && value.eq_ignore_ascii_case("100-continue")
         {
             expects_continue = true;
+        } else if name.eq_ignore_ascii_case("if-none-match") {
+            if_none_match = Some(value.to_string());
         }
     }
     if content_length > MAX_BODY_BYTES {
@@ -231,13 +238,19 @@ pub fn read_request(
             n => filled += n,
         }
     }
-    Ok(Request { method, path, body })
+    Ok(Request {
+        method,
+        path,
+        body,
+        if_none_match,
+    })
 }
 
 /// Standard reason phrase for the status codes this service emits.
 pub fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        304 => "Not Modified",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
@@ -254,11 +267,31 @@ pub fn reason(status: u16) -> &'static str {
 /// (`Connection: close`). Write failures are returned so the caller can
 /// count them, but there is nothing more to do for this peer.
 pub fn write_json_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    write_json_response_with_headers(stream, status, body, &[])
+}
+
+/// [`write_json_response`] with extra response headers (e.g. a
+/// deterministic `ETag`) spliced in before the blank line. A `304`
+/// carries no body per RFC 9110, whatever `body` the caller passed.
+pub fn write_json_response_with_headers(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    extra_headers: &[(&str, &str)],
+) -> std::io::Result<()> {
+    let body = if status == 304 { "" } else { body };
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
         reason(status),
         body.len()
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()

@@ -9,10 +9,14 @@
 //!
 //! | Endpoint         | Purpose                                                      |
 //! |------------------|--------------------------------------------------------------|
-//! | `POST /run`      | One scenario, full `ScenarioResult` body                     |
-//! | `POST /sweep`    | One-axis sweep through the fault-isolated sweep driver       |
+//! | `POST /run`      | One scenario, full `ScenarioResult` body; carries a          |
+//! |                  | deterministic `ETag` (the scenario's canonical hash) and     |
+//! |                  | honors `If-None-Match` with `304 Not Modified`               |
+//! | `POST /sweep`    | One-axis sweep through the fault-isolated, content-memoized  |
+//! |                  | sweep driver (duplicate points simulate once)                |
 //! | `GET /healthz`   | Liveness                                                     |
-//! | `GET /stats`     | Trace-cache / hot-path / per-endpoint request counters       |
+//! | `GET /stats`     | Trace/outcome/workload cache, hot-path, and per-endpoint     |
+//! |                  | request counters                                             |
 //! | `POST /shutdown` | Ask the embedding loop to drain and exit                     |
 //!
 //! Responses are byte-identical to the one-shot CLI (`sustain-hpc run`
@@ -38,7 +42,7 @@ pub mod server;
 pub mod signal;
 
 pub use api::{
-    run_body, run_body_with_ctl, sweep_body, sweep_body_resumable, sweep_body_with_ctl, RunRequest,
-    SweepRequest,
+    run_body, run_body_with_ctl, run_etag, sweep_body, sweep_body_resumable, sweep_body_with_ctl,
+    RunRequest, SweepRequest,
 };
 pub use server::{serve, ServeOptions, ServerHandle, StatsBody};

@@ -45,12 +45,17 @@ use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 use sustain_grid::synth::{global_trace_cache, CacheStats};
+use sustain_hpc_core::cache::global_outcome_cache;
 use sustain_scheduler::metrics::{hot_path_totals, HotPathStats};
 use sustain_sim_core::ctl::{CancelToken, Deadline};
 use sustain_telemetry::requests::{EndpointSnapshot, RequestLog};
+use sustain_workload::synth::global_workload_cache;
 
 use crate::api;
-use crate::http::{drain_unread, read_request, write_json_response, HttpError, Request};
+use crate::http::{
+    drain_unread, read_request, write_json_response, write_json_response_with_headers, HttpError,
+    Request,
+};
 
 /// How the serve loop is configured. `Default` binds an ephemeral
 /// loopback port with 4 in-flight slots and a queue of 16.
@@ -100,6 +105,11 @@ pub struct StatsBody {
     pub rejected_overload: u64,
     /// Process-wide trace-cache counters (hits/misses/evictions).
     pub trace_cache: CacheStats,
+    /// Process-wide scenario-outcome cache counters: hits here are
+    /// whole `POST /run`s and sweep points served without simulating.
+    pub outcome_cache: CacheStats,
+    /// Process-wide workload-synthesis cache counters.
+    pub workload_cache: CacheStats,
     /// Process-wide scheduler hot-path totals.
     pub hot_path: HotPathStats,
     /// Per-endpoint request counts and latency histograms.
@@ -397,11 +407,11 @@ fn handle_connection(conn: &mut TcpStream, inner: &Inner) {
     let started = Instant::now();
     let parsed = read_request(conn, Some(read_deadline));
     let fully_read = parsed.is_ok();
-    let (label, status, body) = match parsed {
+    let (label, status, body, etag) = match parsed {
         Ok(req) => {
             let label = endpoint_label(&req);
-            let (status, body) = route(&req, inner);
-            (label, status, body)
+            let (status, body, etag) = route(&req, inner);
+            (label, status, body, etag)
         }
         Err(e) => {
             let (status, kind) = match &e {
@@ -411,11 +421,14 @@ fn handle_connection(conn: &mut TcpStream, inner: &Inner) {
                 HttpError::Timeout(_) => (408, "timeout"),
             };
             let body = api::error_body(kind, &e.to_string(), None, None);
-            ("(unparsed)".to_string(), status, body)
+            ("(unparsed)".to_string(), status, body, None)
         }
     };
     sustain_sim_core::faultpoint!(infallible "service::respond");
-    let _ = write_json_response(conn, status, &body);
+    let _ = match &etag {
+        Some(tag) => write_json_response_with_headers(conn, status, &body, &[("ETag", tag)]),
+        None => write_json_response(conn, status, &body),
+    };
     if !fully_read {
         // The request was not fully consumed: drain what remains so
         // closing after the error response does not RST it away.
@@ -425,24 +438,47 @@ fn handle_connection(conn: &mut TcpStream, inner: &Inner) {
     inner.log.record(&label, status, latency_us);
 }
 
-/// Routes one parsed request to its handler.
-fn route(req: &Request, inner: &Inner) -> (u16, String) {
+/// Routes one parsed request to its handler. The third element is the
+/// deterministic `ETag` to attach, carried only by `POST /run`
+/// responses (both `200` and `304`).
+fn route(req: &Request, inner: &Inner) -> (u16, String, Option<String>) {
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => (200, "{\n  \"status\": \"ok\"\n}".to_string()),
-        ("GET", "/stats") => stats_response(inner),
+        ("GET", "/healthz") => (200, "{\n  \"status\": \"ok\"\n}".to_string(), None),
+        ("GET", "/stats") => {
+            let (status, body) = stats_response(inner);
+            (status, body, None)
+        }
         ("POST", "/run") => match parse_body::<api::RunRequest>(&req.body) {
-            Ok(run_req) => match api::run_body_with_ctl(&run_req, Some(&inner.cancel)) {
-                Ok(body) => (200, body),
-                Err(e) => api::sim_error_response(&e),
-            },
-            Err(resp) => resp,
+            Ok(run_req) => {
+                // The ETag is the canonical hash of the scenario the
+                // request materializes; the simulation is pure in that
+                // scenario, so a tag match proves the client's cached
+                // body is current — answer 304 without running.
+                let etag = api::run_etag(&run_req);
+                if let (Some(tag), Some(held)) = (&etag, &req.if_none_match) {
+                    if held == tag {
+                        return (304, String::new(), etag);
+                    }
+                }
+                match api::run_body_with_ctl(&run_req, Some(&inner.cancel)) {
+                    Ok(body) => (200, body, etag),
+                    Err(e) => {
+                        let (status, body) = api::sim_error_response(&e);
+                        (status, body, None)
+                    }
+                }
+            }
+            Err((status, body)) => (status, body, None),
         },
         ("POST", "/sweep") => match parse_body::<api::SweepRequest>(&req.body) {
             Ok(sweep_req) => match api::sweep_body_with_ctl(&sweep_req, Some(&inner.cancel)) {
-                Ok(body) => (200, body),
-                Err(e) => api::sim_error_response(&e),
+                Ok(body) => (200, body, None),
+                Err(e) => {
+                    let (status, body) = api::sim_error_response(&e);
+                    (status, body, None)
+                }
             },
-            Err(resp) => resp,
+            Err((status, body)) => (status, body, None),
         },
         ("POST", "/shutdown") => {
             // Fire the server token right here: in-flight simulations
@@ -451,7 +487,7 @@ fn route(req: &Request, inner: &Inner) -> (u16, String) {
             // and stops the listener via `ServerHandle::shutdown`).
             inner.cancel.cancel("shutdown requested");
             inner.shutdown_requested.store(true, Ordering::SeqCst);
-            (200, "{\n  \"status\": \"draining\"\n}".to_string())
+            (200, "{\n  \"status\": \"draining\"\n}".to_string(), None)
         }
         ("GET" | "POST", _) => (
             404,
@@ -461,6 +497,7 @@ fn route(req: &Request, inner: &Inner) -> (u16, String) {
                 None,
                 None,
             ),
+            None,
         ),
         (method, _) => (
             405,
@@ -470,6 +507,7 @@ fn route(req: &Request, inner: &Inner) -> (u16, String) {
                 None,
                 None,
             ),
+            None,
         ),
     }
 }
@@ -499,6 +537,8 @@ fn stats_response(inner: &Inner) -> (u16, String) {
         in_flight: inner.in_flight.load(Ordering::SeqCst),
         rejected_overload: inner.rejected_overload.load(Ordering::Relaxed),
         trace_cache: global_trace_cache().stats(),
+        outcome_cache: global_outcome_cache().stats(),
+        workload_cache: global_workload_cache().stats(),
         hot_path: hot_path_totals(),
         requests: inner.log.snapshot(),
     };
@@ -522,11 +562,24 @@ mod tests {
     use serde::Value;
     use std::io::{Read as _, Write as _};
 
-    fn request(addr: SocketAddr, raw: &str) -> (u16, String) {
+    fn raw_response(addr: SocketAddr, raw: &str) -> String {
         let mut conn = TcpStream::connect(addr).unwrap();
         conn.write_all(raw.as_bytes()).unwrap();
         let mut response = String::new();
         conn.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    fn header_of(response: &str, name: &str) -> Option<String> {
+        let head = response.split("\r\n\r\n").next().unwrap_or_default();
+        head.lines().find_map(|line| {
+            let (n, v) = line.split_once(':')?;
+            n.eq_ignore_ascii_case(name).then(|| v.trim().to_string())
+        })
+    }
+
+    fn request(addr: SocketAddr, raw: &str) -> (u16, String) {
+        let response = raw_response(addr, raw);
         let status: u16 = response
             .split(' ')
             .nth(1)
@@ -593,6 +646,8 @@ mod tests {
         assert_eq!(status, 200);
         let v: Value = serde_json::from_str(&body).unwrap();
         assert!(v["trace_cache"].as_object().is_some());
+        assert!(v["outcome_cache"].as_object().is_some());
+        assert!(v["workload_cache"].as_object().is_some());
         assert!(v["hot_path"].as_object().is_some());
         let endpoints = v["requests"].as_array().unwrap();
         assert!(
@@ -601,6 +656,60 @@ mod tests {
                 .any(|e| e["endpoint"].as_str() == Some("POST /run")),
             "stats must list the /run endpoint: {body}"
         );
+
+        handle.shutdown_and_join();
+    }
+
+    #[test]
+    fn run_carries_a_deterministic_etag_and_honors_if_none_match() {
+        let handle = serve(ServeOptions::default()).unwrap();
+        let addr = handle.local_addr();
+        let json = r#"{"days": 2, "nodes": 600, "seed": 77}"#;
+        let raw = format!(
+            "POST /run HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{json}",
+            json.len()
+        );
+
+        let first = raw_response(addr, &raw);
+        assert!(first.starts_with("HTTP/1.1 200"), "{first}");
+        let etag = header_of(&first, "etag").expect("200 /run must carry an ETag");
+        assert!(
+            etag.starts_with('"') && etag.ends_with('"') && etag.len() == 18,
+            "ETag must be a quoted 16-hex-digit tag, got {etag:?}"
+        );
+
+        // Same request again: same tag (deterministic, content-derived).
+        let second = raw_response(addr, &raw);
+        assert_eq!(header_of(&second, "etag").as_ref(), Some(&etag));
+
+        // Conditional request with the current tag: 304, empty body,
+        // tag echoed.
+        let conditional = format!(
+            "POST /run HTTP/1.1\r\nHost: t\r\nIf-None-Match: {etag}\r\nContent-Length: {}\r\n\r\n{json}",
+            json.len()
+        );
+        let not_modified = raw_response(addr, &conditional);
+        assert!(not_modified.starts_with("HTTP/1.1 304"), "{not_modified}");
+        assert_eq!(header_of(&not_modified, "etag").as_ref(), Some(&etag));
+        let body = not_modified.split_once("\r\n\r\n").unwrap().1;
+        assert!(body.is_empty(), "304 must carry no body, got {body:?}");
+
+        // A stale tag still gets the full body.
+        let stale = format!(
+            "POST /run HTTP/1.1\r\nHost: t\r\nIf-None-Match: \"0000000000000000\"\r\nContent-Length: {}\r\n\r\n{json}",
+            json.len()
+        );
+        let refreshed = raw_response(addr, &stale);
+        assert!(refreshed.starts_with("HTTP/1.1 200"), "{refreshed}");
+
+        // A different scenario gets a different tag.
+        let other = r#"{"days": 2, "nodes": 600, "seed": 78}"#;
+        let other_raw = format!(
+            "POST /run HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{other}",
+            other.len()
+        );
+        let other_resp = raw_response(addr, &other_raw);
+        assert_ne!(header_of(&other_resp, "etag").as_ref(), Some(&etag));
 
         handle.shutdown_and_join();
     }

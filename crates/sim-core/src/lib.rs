@@ -9,6 +9,8 @@
 //! * [`time`] — simulated time and durations with calendar helpers;
 //! * [`error`] — typed config/simulation errors and the [`Validate`] trait;
 //! * [`ctl`] — cooperative cancellation tokens, deadlines, run controls;
+//! * [`cache`] — shared bounded-LRU cache machinery with hit/miss stats;
+//! * [`hash`] — content-addressed canonical hashing of config inputs;
 //! * [`faults`] — the default-off deterministic fault-injection registry;
 //! * [`event`] — a deterministic future-event list;
 //! * [`engine`] — a generic discrete-event simulation driver;
@@ -27,22 +29,26 @@
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod cache;
 pub mod ctl;
 pub mod engine;
 pub mod error;
 pub mod event;
 pub mod faults;
+pub mod hash;
 pub mod rng;
 pub mod series;
 pub mod stats;
 pub mod time;
 pub mod units;
 
+pub use cache::{CacheStats, LruCache};
 pub use ctl::{CancelToken, Deadline, RunCtl};
 pub use engine::{Ctx, Engine, Process, RunOutcome};
 pub use error::{ConfigError, SimError, Validate};
 pub use event::{EventId, EventQueue};
 pub use faults::FaultError;
+pub use hash::{CanonicalHash, CanonicalHasher};
 pub use rng::RngStream;
 pub use series::TimeSeries;
 pub use stats::{RunningStats, Summary};

@@ -12,10 +12,13 @@
 use crate::job::{Job, JobBuilder, JobClass};
 use crate::speedup::SpeedupModel;
 use serde::{Deserialize, Serialize};
+use std::sync::{Arc, OnceLock};
+use sustain_sim_core::cache::{CacheStats, LruCache};
 use sustain_sim_core::error::{
     ensure_at_least, ensure_finite, ensure_fraction, ensure_non_negative, ensure_ordered,
-    ensure_positive, ConfigError, Validate,
+    ensure_positive, env_knob_usize, ConfigError, Validate,
 };
+use sustain_sim_core::hash::{CanonicalHash, CanonicalHasher};
 use sustain_sim_core::rng::RngStream;
 use sustain_sim_core::time::{SimDuration, SimTime, HOUR};
 use sustain_sim_core::units::Power;
@@ -115,6 +118,25 @@ impl Validate for WorkloadConfig {
         ensure_non_negative(CTX, "node_power_range_w.0", lo)?;
         ensure_non_negative(CTX, "node_power_range_w.1", hi)?;
         ensure_ordered(CTX, "node_power_range_w.0", lo, "node_power_range_w.1", hi)
+    }
+}
+
+impl CanonicalHash for WorkloadConfig {
+    fn canonical_hash_into(&self, hasher: &mut CanonicalHasher) {
+        hasher.write_f64(self.arrivals_per_hour);
+        hasher.write_f64(self.diurnal_amplitude);
+        hasher.write_f64(self.runtime_log_mean);
+        hasher.write_f64(self.runtime_log_std);
+        self.max_runtime.canonical_hash_into(hasher);
+        hasher.write_u32(self.max_nodes);
+        hasher.write_f64(self.malleable_fraction);
+        hasher.write_f64(self.checkpointable_fraction);
+        hasher.write_f64(self.overallocating_fraction);
+        hasher.write_f64(self.overallocation_mean_factor);
+        hasher.write_f64(self.walltime_overestimate_mean);
+        hasher.write_u32(self.users);
+        hasher.write_f64(self.node_power_range_w.0);
+        hasher.write_f64(self.node_power_range_w.1);
     }
 }
 
@@ -246,6 +268,183 @@ pub fn generate(config: &WorkloadConfig, horizon: SimDuration, seed: u64) -> Vec
         jobs.push(job);
     }
     jobs
+}
+
+/// Default capacity of the process-wide [`WorkloadCache`]. Job sets are
+/// the largest cached artifacts (tens of thousands of jobs for a busy
+/// month), so the bound is tighter than the trace cache's.
+pub const DEFAULT_WORKLOAD_CACHE_CAPACITY: usize = 64;
+
+/// Environment variable overriding the global workload cache capacity.
+/// `0` **disables** the cache entirely (every request regenerates) —
+/// note this differs from `SUSTAIN_TRACE_CACHE_CAP`, where `0` means
+/// unbounded; synthesized job sets are large enough that "no limit" is
+/// never what an operator wants.
+pub const WORKLOAD_CACHE_CAP_ENV: &str = "SUSTAIN_WORKLOAD_CACHE_CAP";
+
+/// Cache key for a synthesized job set: the canonical fingerprint of the
+/// [`WorkloadConfig`] plus the exact horizon bits and the seed — every
+/// input [`generate`] depends on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WorkloadKey {
+    config_fingerprint: u64,
+    horizon_bits: u64,
+    seed: u64,
+}
+
+impl WorkloadKey {
+    /// Fingerprint a `(config, horizon, seed)` generation request.
+    pub fn new(config: &WorkloadConfig, horizon: SimDuration, seed: u64) -> WorkloadKey {
+        WorkloadKey {
+            config_fingerprint: config.canonical_hash(),
+            horizon_bits: horizon.as_secs().to_bits(),
+            seed,
+        }
+    }
+}
+
+/// Process-wide cache of synthesized job sets.
+///
+/// Sweeps that vary only policy or budget parameters re-request the same
+/// `(config, horizon, seed)` workload for every point; generation is
+/// deterministic and the job set is immutable once built, so one
+/// generation can serve the whole sweep as a shared `Arc<Vec<Job>>`.
+///
+/// Capacity `0` disables caching (see [`WORKLOAD_CACHE_CAP_ENV`]).
+#[derive(Debug)]
+pub struct WorkloadCache {
+    inner: LruCache<WorkloadKey, Arc<Vec<Job>>>,
+}
+
+impl Default for WorkloadCache {
+    fn default() -> Self {
+        WorkloadCache::with_capacity(DEFAULT_WORKLOAD_CACHE_CAPACITY)
+    }
+}
+
+impl WorkloadCache {
+    /// Create an empty cache with the default capacity bound.
+    pub fn new() -> WorkloadCache {
+        WorkloadCache::default()
+    }
+
+    /// Create an empty cache holding at most `capacity` job sets
+    /// (`0` = caching disabled).
+    pub fn with_capacity(capacity: usize) -> WorkloadCache {
+        WorkloadCache {
+            inner: LruCache::with_capacity(capacity),
+        }
+    }
+
+    /// Current capacity bound (`0` = caching disabled).
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity()
+    }
+
+    /// Change the capacity bound. Setting `0` disables the cache and
+    /// drops all entries; a smaller bound evicts down immediately.
+    pub fn set_capacity(&self, capacity: usize) {
+        self.inner.set_capacity(capacity);
+        if capacity == 0 {
+            self.inner.clear();
+        }
+    }
+
+    /// Fetch the job set for `(config, horizon, seed)`, generating and
+    /// inserting it on first use. Hits return a clone of the cached `Arc`
+    /// (pointer-identical jobs) and refresh the entry's LRU position.
+    /// With capacity `0` the cache is bypassed entirely (no counters
+    /// advance).
+    pub fn get_or_generate(
+        &self,
+        config: &WorkloadConfig,
+        horizon: SimDuration,
+        seed: u64,
+    ) -> Arc<Vec<Job>> {
+        if self.capacity() == 0 {
+            return Arc::new(generate(config, horizon, seed));
+        }
+        let key = WorkloadKey::new(config, horizon, seed);
+        if let Some(jobs) = self.inner.lookup(&key) {
+            return jobs;
+        }
+        // Generate outside any lock: racing first requests may generate
+        // twice, but generation is deterministic so both produce identical
+        // job sets and the first insert wins. The fault site sits here so
+        // an injected panic never poisons the cache lock.
+        sustain_sim_core::faultpoint!(infallible "workload::job_fill");
+        let jobs = Arc::new(generate(config, horizon, seed));
+        self.inner.insert_after_miss(key, jobs)
+    }
+
+    /// Hit/miss/eviction counters and current occupancy.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.stats()
+    }
+
+    /// Number of cached job sets.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// `true` if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Drop all cached job sets, preserving the counters.
+    pub fn clear(&self) {
+        self.inner.clear();
+    }
+}
+
+/// The process-wide [`WorkloadCache`] used by [`generate_arc`].
+///
+/// Capacity defaults to [`DEFAULT_WORKLOAD_CACHE_CAPACITY`] and can be
+/// overridden (first use wins) via [`WORKLOAD_CACHE_CAP_ENV`], or changed
+/// at runtime with [`WorkloadCache::set_capacity`].
+pub fn global_workload_cache() -> &'static WorkloadCache {
+    static CACHE: OnceLock<WorkloadCache> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        // Lazy path: reachable from deep inside a scenario run, so a
+        // malformed capacity cannot surface as a `Result` here — warn
+        // loudly (once: the cache is built once) and keep the default
+        // instead of silently ignoring the knob. Boundary code gets the
+        // typed-error behavior from [`init_workload_cache_cap_from_env`].
+        let cap = match env_knob_usize(WORKLOAD_CACHE_CAP_ENV) {
+            Ok(Some(cap)) => cap,
+            Ok(None) => DEFAULT_WORKLOAD_CACHE_CAPACITY,
+            Err(e) => {
+                eprintln!(
+                    "warning: {e}; keeping the default workload-cache \
+                     capacity of {DEFAULT_WORKLOAD_CACHE_CAPACITY}"
+                );
+                DEFAULT_WORKLOAD_CACHE_CAPACITY
+            }
+        };
+        WorkloadCache::with_capacity(cap)
+    })
+}
+
+/// Strictly applies [`WORKLOAD_CACHE_CAP_ENV`] to the process-wide cache
+/// if set; returns the applied capacity. Boundary code (CLI/service
+/// startup) calls this once so a malformed value becomes a typed
+/// [`ConfigError`] instead of a silently-used default. Safe to call
+/// whether or not the cache was already touched: the capacity is
+/// (re)applied to the live cache, evicting down if needed.
+pub fn init_workload_cache_cap_from_env() -> Result<Option<usize>, ConfigError> {
+    let parsed = env_knob_usize(WORKLOAD_CACHE_CAP_ENV)?;
+    if let Some(cap) = parsed {
+        global_workload_cache().set_capacity(cap);
+    }
+    Ok(parsed)
+}
+
+/// Cache-backed variant of [`generate`]: returns a shared `Arc<Vec<Job>>`
+/// from the process-wide [`WorkloadCache`], generating at most once per
+/// distinct `(config, horizon, seed)`.
+pub fn generate_arc(config: &WorkloadConfig, horizon: SimDuration, seed: u64) -> Arc<Vec<Job>> {
+    global_workload_cache().get_or_generate(config, horizon, seed)
 }
 
 #[cfg(test)]
@@ -387,6 +586,48 @@ mod tests {
             }
         }
         assert!(over as f64 / jobs.len() as f64 > 0.9);
+    }
+
+    #[test]
+    fn workload_cache_hits_are_arc_identical_and_match_uncached() {
+        let cache = WorkloadCache::new();
+        let cfg = WorkloadConfig::default();
+        let horizon = SimDuration::from_hours(48.0);
+        let a = cache.get_or_generate(&cfg, horizon, 11);
+        let b = cache.get_or_generate(&cfg, horizon, 11);
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(*a, generate(&cfg, horizon, 11));
+        // Config, horizon and seed are all part of the key.
+        cache.get_or_generate(&cfg, horizon, 12);
+        cache.get_or_generate(&cfg, SimDuration::from_hours(24.0), 11);
+        let mut other = cfg.clone();
+        other.arrivals_per_hour += 1.0;
+        cache.get_or_generate(&other, horizon, 11);
+        assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
+    fn workload_cache_capacity_zero_disables_caching() {
+        let cache = WorkloadCache::with_capacity(0);
+        let cfg = WorkloadConfig::default();
+        let horizon = SimDuration::from_hours(24.0);
+        let a = cache.get_or_generate(&cfg, horizon, 5);
+        let b = cache.get_or_generate(&cfg, horizon, 5);
+        assert!(
+            !std::sync::Arc::ptr_eq(&a, &b),
+            "disabled cache must not share"
+        );
+        assert_eq!(*a, *b, "regeneration is deterministic");
+        assert!(cache.is_empty());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (0, 0));
+        // Disabling a populated cache drops its entries.
+        let warm = WorkloadCache::with_capacity(4);
+        warm.get_or_generate(&cfg, horizon, 5);
+        assert_eq!(warm.len(), 1);
+        warm.set_capacity(0);
+        assert!(warm.is_empty());
     }
 
     #[test]

@@ -30,7 +30,8 @@
 //! (typed 408) and answers every accepted request before exiting.
 //!
 //! Environment knobs (`SUSTAIN_THREADS`, `SUSTAIN_PAR_PENDING_MIN`,
-//! `SUSTAIN_TRACE_CACHE_CAP`, `SUSTAIN_FAULTS`, `SUSTAIN_FAULTS_SEED`)
+//! `SUSTAIN_TRACE_CACHE_CAP`, `SUSTAIN_OUTCOME_CACHE_CAP`,
+//! `SUSTAIN_WORKLOAD_CACHE_CAP`, `SUSTAIN_FAULTS`, `SUSTAIN_FAULTS_SEED`)
 //! are parsed strictly at startup: an invalid value is a typed error
 //! and a non-zero exit, never a silent fallback.
 
@@ -222,6 +223,8 @@ fn init_env_knobs() -> Result<(), String> {
     sustain_hpc::core::sweep::init_threads_from_env().map_err(|e| e.to_string())?;
     sustain_hpc::scheduler::sim::init_par_pending_min_from_env().map_err(|e| e.to_string())?;
     sustain_hpc::core::sweep::init_trace_cache_cap_from_env().map_err(|e| e.to_string())?;
+    sustain_hpc::core::cache::init_outcome_cache_cap_from_env().map_err(|e| e.to_string())?;
+    sustain_hpc::workload::synth::init_workload_cache_cap_from_env().map_err(|e| e.to_string())?;
     sustain_hpc::sim_core::faults::init_from_env().map_err(|e| e.to_string())?;
     Ok(())
 }
@@ -311,6 +314,23 @@ fn print_hot_path_stats() {
         s.spec_hits,
         s.spec_invalidations,
         sustain_hpc::core::sweep::effective_threads()
+    );
+    print_memo_cache_stats();
+}
+
+/// `--stats`: prints the process-wide memoization-cache counters
+/// (stderr, like the hot-path stats) — outcome cache (whole scenario
+/// results) and workload cache (synthesized job batches).
+fn print_memo_cache_stats() {
+    let o = sustain_hpc::core::cache::global_outcome_cache().stats();
+    let w = sustain_hpc::workload::synth::global_workload_cache().stats();
+    eprintln!(
+        "outcome cache: {} hits, {} misses, {} evictions, {} live entries (capacity {})",
+        o.hits, o.misses, o.evictions, o.len, o.capacity
+    );
+    eprintln!(
+        "workload cache: {} hits, {} misses, {} evictions, {} live entries (capacity {})",
+        w.hits, w.misses, w.evictions, w.len, w.capacity
     );
 }
 

@@ -122,8 +122,10 @@ fn simulation_faults_are_isolated_per_point_and_heal_after_disarm() {
 
     for site in [
         "grid::trace_fill",
+        "workload::job_fill",
         "sweep::point",
         "scenario::run",
+        "scenario::outcome_fill",
         "sim::tick",
     ] {
         for mode in ["panic", "error", "delay"] {
@@ -243,6 +245,43 @@ fn a_faulted_trace_fill_leaves_the_cache_usable() {
         "retry after a fill panic produced a usable trace"
     );
     assert!(faults::hit_count("grid::trace_fill") >= 2);
+}
+
+/// A panic during an outcome-cache fill leaves that cache fully usable:
+/// nothing partial is cached, the same scenario computes cleanly on the
+/// next request (and is inserted), and the request after that is served
+/// from the cache byte-identically.
+#[test]
+fn a_faulted_outcome_fill_leaves_the_cache_usable() {
+    let _guard = fault_lock();
+    let scenario = small_scenario(fresh_seed());
+
+    faults::arm("scenario::outcome_fill:panic:1", 7).expect("valid spec");
+    let ctl = RunCtl::unlimited();
+    let results = try_sweep_seeded_with_ctl(11, std::slice::from_ref(&scenario), &ctl, |s, _| {
+        try_run(s).map(|r| r.grid_mean_ci)
+    })
+    .expect("sweep survives the fill panic");
+    assert!(results[0].is_err(), "the filling point observed the panic");
+    faults::disarm();
+
+    // The failed fill must not have cached anything: the retry computes
+    // for real and inserts, so the run after it is a cache hit with a
+    // byte-identical result.
+    let cache = global_outcome_cache();
+    let before = cache.stats();
+    let first = try_run(&scenario).expect("retry after a fill panic");
+    let second = try_run(&scenario).expect("cached rerun");
+    let after = cache.stats();
+    assert!(
+        after.hits > before.hits,
+        "second run must hit the outcome cache: {before:?} -> {after:?}"
+    );
+    assert_eq!(
+        serde_json::to_string(&first).expect("serializable"),
+        serde_json::to_string(&second).expect("serializable"),
+        "cache hit must be byte-identical to the cold run"
+    );
 }
 
 /// Core-level cancellation contract: a pre-cancelled token wins
@@ -368,13 +407,15 @@ fn service_faults_yield_typed_responses_and_workers_survive() {
 #[test]
 fn every_fault_site_is_on_an_exercised_path() {
     let _guard = fault_lock();
-    const SITES: [&str; 10] = [
+    const SITES: [&str; 12] = [
         "grid::trace_fill",
+        "workload::job_fill",
         "sweep::point",
         "sweep::journal_write",
         "sweep::journal_sync",
         "sweep::journal_replay",
         "scenario::run",
+        "scenario::outcome_fill",
         "sim::tick",
         "service::read",
         "service::dispatch",

@@ -41,6 +41,8 @@ struct Row {
     spec_planned: u64,
     spec_hits: u64,
     spec_invalidations: u64,
+    fs_repositions: u64,
+    fs_renorms: u64,
 }
 
 /// Warm-up pass, then repeated samples (median reported): until 2 s of
@@ -96,6 +98,8 @@ fn main() {
                 spec_planned: hp.spec_planned,
                 spec_hits: hp.spec_hits,
                 spec_invalidations: hp.spec_invalidations,
+                fs_repositions: hp.fs_repositions,
+                fs_renorms: hp.fs_renorms,
             });
         }
     }

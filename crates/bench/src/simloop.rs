@@ -58,6 +58,10 @@ pub const PRE_PR_WALL_S: &[(&str, f64)] = &[
     ("easy_plain_60d", 0.0407),
     ("easy_carbon_failures_60d", 0.0466),
     ("easy_carbon_fairshare_60d", 0.390),
+    // Measured at the parent of the incremental fair-share PR (the
+    // scenario was added by that PR, so its baseline is that commit,
+    // not 688763d), same host class and protocol as the others.
+    ("easy_carbon_fairshare_400u_60d", 1.821),
     ("conservative_plain_21d", 19.55),
     ("conservative_carbon_failures_21d", 11.53),
     ("easy_full_365d_10k", 28.10),
@@ -112,6 +116,7 @@ struct Shape {
     nodes: u32,
     max_nodes: u32,
     runtime_log_mean: f64,
+    users: u32,
 }
 
 impl Shape {
@@ -125,6 +130,7 @@ impl Shape {
             max_nodes: self.max_nodes,
             checkpointable_fraction: 0.6,
             runtime_log_mean: self.runtime_log_mean,
+            users: self.users,
             ..WorkloadConfig::default()
         };
         generate(&cfg, SimDuration::from_days(days), SEED)
@@ -145,6 +151,7 @@ const MID: Shape = Shape {
     nodes: 96,
     max_nodes: 64,
     runtime_log_mean: 8.3,
+    users: 50,
 };
 
 /// The fair-share shape: longer jobs, sustained congestion.
@@ -154,6 +161,21 @@ const FAIR: Shape = Shape {
     nodes: 96,
     max_nodes: 64,
     runtime_log_mean: 8.8,
+    users: 50,
+};
+
+/// The many-user fair-share shape: the same sustained congestion as
+/// [`FAIR`] but at a higher arrival rate spread over 400 distinct
+/// users — ordering-maintenance cost scales with the number of users
+/// whose usage changes, so this is the stress case for the incremental
+/// fair-share fix-up path.
+const FAIR_MANY: Shape = Shape {
+    days: 60.0,
+    arrivals_per_hour: 6.0,
+    nodes: 96,
+    max_nodes: 64,
+    runtime_log_mean: 8.8,
+    users: 400,
 };
 
 /// The conservative-backfill shape (O(queue²) planning: kept smaller).
@@ -163,6 +185,7 @@ const CONS: Shape = Shape {
     nodes: 64,
     max_nodes: 48,
     runtime_log_mean: 8.3,
+    users: 50,
 };
 
 /// The headline shape: 365 days, ~10k jobs, overloaded 48-node system.
@@ -172,6 +195,7 @@ const FULL: Shape = Shape {
     nodes: 48,
     max_nodes: 48,
     runtime_log_mean: 9.2,
+    users: 50,
 };
 
 /// Builds the whole corpus at the given scale.
@@ -206,6 +230,18 @@ pub fn scenarios(scale: Scale) -> Vec<SimScenario> {
         out.push(SimScenario {
             name: "easy_carbon_fairshare_60d",
             jobs: FAIR.workload(scale),
+            cfg,
+            iterable: true,
+        });
+    }
+
+    {
+        let mut cfg = SimConfig::easy(Cluster::new(FAIR_MANY.nodes));
+        cfg.carbon_trace = Some(bench_trace(FAIR_MANY.trace_days(scale)));
+        cfg.fair_share = Some(FairShareCfg::default());
+        out.push(SimScenario {
+            name: "easy_carbon_fairshare_400u_60d",
+            jobs: FAIR_MANY.workload(scale),
             cfg,
             iterable: true,
         });
@@ -285,6 +321,42 @@ mod tests {
                 sc.name
             );
         }
+    }
+
+    /// Perf smoke for the incremental fair-share ordering: the fair-
+    /// share corpus entries must finish with *zero* full resorts —
+    /// ordering is maintained by dirty-user repositioning alone (the
+    /// legacy `powf`-key regime, which would resort, is unreachable at
+    /// bench half-lives and horizons) — while the recording-free passes
+    /// register as skips. Catches both a silent fallback to the O(n
+    /// log n) resort and a fix-up that stops skipping clean passes.
+    #[test]
+    fn fair_share_scenarios_avoid_full_resorts() {
+        let mut saw_fair_share = false;
+        for sc in scenarios(Scale::Smoke) {
+            if sc.cfg.fair_share.is_none() {
+                continue;
+            }
+            saw_fair_share = true;
+            let hp = simulate(&sc.jobs, &sc.cfg).hot_path;
+            assert_eq!(
+                hp.resorts_taken, 0,
+                "{}: fell back to full resorts",
+                sc.name
+            );
+            assert!(
+                hp.resorts_skipped > 0,
+                "{}: no pass skipped the fix-up",
+                sc.name
+            );
+            assert!(
+                hp.fs_repositions > 0,
+                "{}: no dirty job repositioned",
+                sc.name
+            );
+            assert_eq!(hp.fs_renorms, 0, "{}: unexpected epoch renorm", sc.name);
+        }
+        assert!(saw_fair_share, "corpus lost its fair-share scenarios");
     }
 
     /// Reduced-scale threaded smoke: the whole corpus must produce

@@ -151,6 +151,13 @@ pub struct HotPathStats {
     /// Speculative slots invalidated by an earlier commit in the same
     /// round and recomputed serially against the live profile.
     pub spec_invalidations: u64,
+    /// Pending jobs repositioned by the incremental fair-share fix-up
+    /// (remove + sorted re-insert of dirty users' jobs; the work that
+    /// replaced full resorts).
+    pub fs_repositions: u64,
+    /// Renormalizations of the fair-share usage epoch (exact
+    /// power-of-two rescale of every user's normalized usage; rare).
+    pub fs_renorms: u64,
 }
 
 impl HotPathStats {
@@ -167,6 +174,8 @@ impl HotPathStats {
         self.spec_planned += other.spec_planned;
         self.spec_hits += other.spec_hits;
         self.spec_invalidations += other.spec_invalidations;
+        self.fs_repositions += other.fs_repositions;
+        self.fs_renorms += other.fs_renorms;
     }
 }
 
@@ -193,6 +202,8 @@ impl Deserialize for HotPathStats {
             spec_planned: field("spec_planned")?,
             spec_hits: field("spec_hits")?,
             spec_invalidations: field("spec_invalidations")?,
+            fs_repositions: field("fs_repositions")?,
+            fs_renorms: field("fs_renorms")?,
         })
     }
 }
@@ -211,6 +222,8 @@ static TOTAL_SCRATCH_GROWS: AtomicU64 = AtomicU64::new(0);
 static TOTAL_SPEC_PLANNED: AtomicU64 = AtomicU64::new(0);
 static TOTAL_SPEC_HITS: AtomicU64 = AtomicU64::new(0);
 static TOTAL_SPEC_INVALIDATIONS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_FS_REPOSITIONS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_FS_RENORMS: AtomicU64 = AtomicU64::new(0);
 
 pub(crate) fn record_hot_path_totals(s: &HotPathStats) {
     TOTAL_EVENTS.fetch_add(s.events, Ordering::Relaxed);
@@ -224,6 +237,8 @@ pub(crate) fn record_hot_path_totals(s: &HotPathStats) {
     TOTAL_SPEC_PLANNED.fetch_add(s.spec_planned, Ordering::Relaxed);
     TOTAL_SPEC_HITS.fetch_add(s.spec_hits, Ordering::Relaxed);
     TOTAL_SPEC_INVALIDATIONS.fetch_add(s.spec_invalidations, Ordering::Relaxed);
+    TOTAL_FS_REPOSITIONS.fetch_add(s.fs_repositions, Ordering::Relaxed);
+    TOTAL_FS_RENORMS.fetch_add(s.fs_renorms, Ordering::Relaxed);
 }
 
 /// Snapshot of the process-wide hot-path counters aggregated over every
@@ -241,6 +256,8 @@ pub fn hot_path_totals() -> HotPathStats {
         spec_planned: TOTAL_SPEC_PLANNED.load(Ordering::Relaxed),
         spec_hits: TOTAL_SPEC_HITS.load(Ordering::Relaxed),
         spec_invalidations: TOTAL_SPEC_INVALIDATIONS.load(Ordering::Relaxed),
+        fs_repositions: TOTAL_FS_REPOSITIONS.load(Ordering::Relaxed),
+        fs_renorms: TOTAL_FS_RENORMS.load(Ordering::Relaxed),
     }
 }
 
@@ -586,6 +603,38 @@ mod tests {
         assert_eq!(s.spec_planned, 0);
         assert_eq!(s.spec_hits, 0);
         assert_eq!(s.spec_invalidations, 0);
+        assert_eq!(s.fs_repositions, 0);
+        assert_eq!(s.fs_renorms, 0);
+    }
+
+    #[test]
+    fn hot_path_stats_tolerate_pre_fair_share_counters() {
+        // A block from the speculative-planning era (has spec_* but
+        // predates the fs_* counters) still loads, fs_* defaulting to 0.
+        let old = r#"{
+            "events": 10, "schedule_passes": 3, "schedule_skips": 1,
+            "resorts_taken": 2, "resorts_skipped": 4,
+            "trace_bucket_hits": 5, "trace_bucket_misses": 6,
+            "scratch_grows": 7, "spec_planned": 8, "spec_hits": 6,
+            "spec_invalidations": 2
+        }"#;
+        let v = serde_json::from_str(old).unwrap();
+        let s = HotPathStats::from_value(&v).unwrap();
+        assert_eq!(s.spec_planned, 8);
+        assert_eq!(s.fs_repositions, 0);
+        assert_eq!(s.fs_renorms, 0);
+    }
+
+    #[test]
+    fn fs_counters_serialize_last() {
+        // Append-only contract: new counters go at the end of the
+        // struct so the serialized field order keeps old prefixes
+        // stable for any order-sensitive consumer.
+        let json = serde_json::to_string(&HotPathStats::default()).unwrap();
+        let pos = |name: &str| json.find(name).unwrap();
+        assert!(pos("spec_invalidations") < pos("fs_repositions"));
+        assert!(pos("fs_repositions") < pos("fs_renorms"));
+        assert_eq!(pos("fs_renorms"), json.rfind("fs_").unwrap());
     }
 
     #[test]
@@ -595,6 +644,8 @@ mod tests {
             spec_planned: 8,
             spec_hits: 6,
             spec_invalidations: 2,
+            fs_repositions: 9,
+            fs_renorms: 1,
             ..Default::default()
         };
         let v = s.to_value();

@@ -438,10 +438,11 @@ struct Scratch {
     plan: Vec<usize>,
     /// Time-sorted (time, freed nodes) profile for the EASY shadow.
     frees: Vec<(SimTime, u32)>,
-    /// Keyed pending entries for a fair-share resort.
+    /// Keyed pending entries for a full fair-share resort (the test
+    /// oracle; the production path repositions incrementally).
     keyed: Vec<(std::cmp::Reverse<u32>, f64, SimTime, JobId, usize)>,
-    /// Per-user decayed-usage memo for one resort.
-    usage_memo: std::collections::HashMap<u32, f64>,
+    /// Per-user decayed-usage memo for one legacy resort.
+    usage_memo: UserMap<f64>,
     /// Speculative earliest-slot results for one conservative planning
     /// round, aligned index-for-index with `plan`. Filled in parallel
     /// against the round's immutable profile snapshot, then consumed by
@@ -452,9 +453,146 @@ struct Scratch {
 /// The single pending-order key (see [`Sim::pending_key`]).
 type PendKey = (std::cmp::Reverse<u32>, f64, SimTime, JobId);
 
+/// Multiplicative hasher for the u32 user-id key space: one odd-
+/// constant multiply instead of SipHash. User-keyed lookups sit on the
+/// pending-order hot path (every binary-search probe reads the user's
+/// normalized usage), where the default hasher's ~20 ns per probe was
+/// measurable. The multiply is bijective mod 2^64, so sequential ids
+/// spread over the table; nothing iterates these maps in an order-
+/// sensitive way, so the hasher cannot affect outcomes.
+#[derive(Default)]
+struct UserIdHasher(u64);
+
+impl std::hash::Hasher for UserIdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (unused by u32 keys, which hit `write_u32`).
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.0 = (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type UserBuildHasher = std::hash::BuildHasherDefault<UserIdHasher>;
+type UserMap<V> = std::collections::HashMap<u32, V, UserBuildHasher>;
+type UserSet = std::collections::HashSet<u32, UserBuildHasher>;
+
+/// The pending queue: job indices in scheduling order plus a parallel
+/// dense array of each entry's (immutable) user id. The user copy is
+/// what makes the fair-share dirty scan in [`Sim::fixup_pending`] a
+/// sequential `u32` sweep instead of one random `jobs[i]` load per
+/// pending entry — on long queues those cache misses dominated the
+/// fix-up. Reads deref to the index slice; every mutation goes through
+/// a method that keeps the two arrays in lockstep.
+#[derive(Default)]
+struct PendQueue {
+    idx: Vec<usize>,
+    /// Parallel dense array of each entry's (immutable) user id,
+    /// maintained — like `counts` — only under fair share
+    /// (`track_users`): non-fair-share schedulers measurably paid for
+    /// the extra copies in the backfill compaction loop.
+    user: Vec<u32>,
+    /// Pending-entry count per user, maintained only under fair share
+    /// (`track_users`). Lets the ordering fix-up know *how many*
+    /// entries a dirty user has — zero skips the extraction scan
+    /// entirely, and a reached count turns the clean suffix into one
+    /// bulk `copy_within` instead of a per-element test.
+    counts: UserMap<u32>,
+    track_users: bool,
+}
+
+impl std::ops::Deref for PendQueue {
+    type Target = [usize];
+    fn deref(&self) -> &[usize] {
+        &self.idx
+    }
+}
+
+impl PendQueue {
+    fn insert(&mut self, pos: usize, idx: usize, user: u32) {
+        self.idx.insert(pos, idx);
+        if self.track_users {
+            self.user.insert(pos, user);
+            *self.counts.entry(user).or_insert(0) += 1;
+        }
+    }
+
+    fn remove(&mut self, pos: usize) -> usize {
+        if self.track_users {
+            self.uncount(pos);
+            self.user.remove(pos);
+        }
+        self.idx.remove(pos)
+    }
+
+    /// Removes the entry for job `idx`, if present (conservative starts
+    /// pull jobs from a plan snapshot, not a queue position).
+    fn remove_job(&mut self, idx: usize) {
+        if let Some(pos) = self.idx.iter().position(|&p| p == idx) {
+            self.remove(pos);
+        }
+    }
+
+    fn drain_front(&mut self, n: usize) {
+        if self.track_users {
+            for i in 0..n {
+                self.uncount(i);
+            }
+            self.user.drain(..n);
+        }
+        self.idx.drain(..n);
+    }
+
+    /// In-place compaction step: keep the entry at `read` by moving it
+    /// to `write` (both arrays when users are tracked). Sits in the
+    /// backfill walk's innermost loop — millions of calls per bench
+    /// scenario — hence the forced inlining.
+    #[inline(always)]
+    fn keep(&mut self, write: usize, read: usize) {
+        self.idx[write] = self.idx[read];
+        if self.track_users {
+            self.user[write] = self.user[read];
+        }
+    }
+
+    /// Drops the entry at `pos` from the per-user counts without
+    /// touching the arrays — for compaction loops, which overwrite
+    /// non-kept entries implicitly. An entry that leaves the queue must
+    /// be uncounted exactly once: an over-count merely costs the fix-up
+    /// its early exit, but an under-count would strand a dirty entry.
+    fn uncount(&mut self, pos: usize) {
+        if self.track_users {
+            if let Some(c) = self.counts.get_mut(&self.user[pos]) {
+                debug_assert!(*c > 0);
+                *c = c.saturating_sub(1);
+            } else {
+                debug_assert!(false, "uncount for untracked user");
+            }
+        }
+    }
+
+    fn count(&self, user: u32) -> u32 {
+        self.counts.get(&user).copied().unwrap_or(0)
+    }
+
+    fn truncate(&mut self, n: usize) {
+        self.idx.truncate(n);
+        if self.track_users {
+            self.user.truncate(n);
+        }
+    }
+}
+
 /// Total order on pending keys: queue priority (desc, via `Reverse`),
-/// decayed usage (asc), submit time, then id. Ids are unique, so the
-/// order is total and stable/unstable sorts agree.
+/// normalized fair-share usage (asc), submit time, then id. Ids are
+/// unique, so the order is total and stable/unstable sorts agree.
 fn pend_key_cmp(a: &PendKey, b: &PendKey) -> std::cmp::Ordering {
     a.0.cmp(&b.0)
         .then_with(|| a.1.total_cmp(&b.1))
@@ -533,6 +671,50 @@ pub fn set_par_pending_min(n: usize) {
     PAR_PENDING_MIN.store(n, std::sync::atomic::Ordering::Relaxed);
 }
 
+/// When set, every scheduling pass rebuilds and fully sorts the pending
+/// queue (the pre-incremental reference behavior) instead of
+/// repositioning only dirty users' jobs. Outcomes are byte-identical in
+/// both modes — that is exactly what the oracle tests assert — so the
+/// toggle only trades speed for an independent ordering path.
+static FS_ORACLE_RESORT: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Enables/disables the full-resort fair-share oracle for the whole
+/// process. Test-only in spirit, but always compiled so integration
+/// tests and the golden replayer (which live outside this crate's
+/// `#[cfg(test)]`) can drive it.
+#[doc(hidden)]
+pub fn set_fair_share_oracle_resort(on: bool) {
+    FS_ORACLE_RESORT.store(on, std::sync::atomic::Ordering::Relaxed);
+}
+
+fn fair_share_oracle_resort() -> bool {
+    FS_ORACLE_RESORT.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Renormalization threshold for the fair-share usage epoch, in
+/// half-lives. Normalized usage grows by `2^(t / half_life - shift)`;
+/// once that exponent would exceed this bound at a recording,
+/// [`Sim::record_usage`] rescales every stored value by an exact power
+/// of two and advances the shift. 512 keeps `exp2(e) ≤ 2^512 ≈ 1.3e154`,
+/// far from f64 overflow (~1.8e308) even after multiplying by
+/// node-seconds, while renormalizing rarely enough to never matter for
+/// performance (`fs_renorms` counts occurrences).
+const FS_RENORM_HALF_LIVES: f64 = 512.0;
+
+/// Binary exponent below which a decayed fair-share usage is treated as
+/// dangerously close to the subnormal range (f64 subnormals start at
+/// 2^-1022). Once any user's decayed value sinks past `2^-1000`,
+/// ordering switches — stickily — to the legacy per-read `powf` keys:
+/// in the subnormal range the legacy values round so coarsely that
+/// comparing full-precision normalized values no longer reproduces
+/// their order, and the golden snapshots pin the legacy bits. The
+/// 22-half-life margin keeps the switch strictly inside the regime
+/// where both keys still agree. Reaching it at all takes a thousand
+/// half-lives of drain (centuries of simulated idle at realistic
+/// half-lives) — no benchmark scenario comes within an order of
+/// magnitude of it.
+const FS_DEGRADE_MIN_EXP: f64 = -1000.0;
+
 /// Exact feasibility check of the window `[start, start + dur)` against
 /// a time-sorted strictly-future profile: the same prefix fold and
 /// window scan [`earliest_slot_sorted`] performs for one candidate,
@@ -583,10 +765,8 @@ struct Sim<'a> {
     cfg: &'a SimConfig,
     queue: EventQueue<Ev>,
     alloc: Allocation,
-    pending: Vec<usize>,
+    pending: PendQueue,
     priorities: Vec<u32>,
-    // Per-user decayed usage in node-seconds: (value, last decay time).
-    usage: std::collections::HashMap<u32, (f64, SimTime)>,
     running: Vec<RunJob>,
     suspended: Vec<(usize, f64)>, // (job idx, work_remaining)
     books: Vec<Book>,
@@ -606,23 +786,6 @@ struct Sim<'a> {
     /// Largest budget the series ever offers (jobs that cannot fit even
     /// this are rejected at submit rather than pending forever).
     max_budget: Option<Power>,
-    /// Set when recorded fair-share usage may have changed relative
-    /// pending order; cleared by the next resort.
-    pending_dirty: bool,
-    /// Timestamp of the last fair-share resort. A resort is skipped
-    /// only when clean *and* at the same timestamp: between recordings
-    /// the order is mathematically time-invariant (every user's usage
-    /// decays by the same factor), but `powf` rounding can flip
-    /// near-equal usages as `now` advances, and replay must recompute
-    /// exactly where the reference implementation did.
-    last_sorted_at: Option<SimTime>,
-    /// Set by a resort that found every pending user's decayed usage to
-    /// be exactly `0.0`. Zero is absorbing — decay only multiplies by a
-    /// factor in `[0, 1]` — so from that moment the fair-share key is
-    /// time-invariant and the pending order frozen, which is what lets
-    /// [`Sim::can_skip_schedule`] skip under fair share. Cleared by
-    /// usage recordings and by inserts carrying nonzero usage.
-    usage_all_zero: bool,
     /// Set at the end of every completed scheduling pass (a pass runs to
     /// fixpoint: nothing more can start *now*); cleared by any mutation
     /// that could enable a start. While set, `try_schedule` is a no-op
@@ -643,6 +806,43 @@ struct Sim<'a> {
     trace_misses: Cell<u64>,
     /// Remaining hot-path counters for this run.
     stats: HotPathStats,
+    // Per-user *normalized* fair-share usage: the decayed node-seconds
+    // value scaled by `2^(t_rec / half_life - fs_shift)` at recording
+    // time. Uniform decay multiplies every user's usage by the same
+    // factor, so normalized values compare exactly like decayed ones —
+    // without a per-read `powf` (see DESIGN.md §6).
+    fs_usage: UserMap<f64>,
+    // Integer count of half-lives subtracted from the normalization
+    // exponent so far (exact in f64 far beyond any reachable value).
+    fs_shift: f64,
+    // Users whose usage changed since the last ordering fix-up; only
+    // their pending jobs can be out of place.
+    fs_dirty: UserSet,
+    // The legacy representation the pre-incremental code kept: per-user
+    // (decayed node-seconds, last decay time), chained through one
+    // `powf` per recording. Maintained alongside the normalized map —
+    // one powf per *recording* is cheap; it is the per-*read* powf the
+    // normalized key eliminates — so the legacy-key regime below can
+    // reproduce the reference behavior bit for bit.
+    fs_legacy: UserMap<(f64, SimTime)>,
+    // Conservative lower bound on the positive normalized usages (stale
+    // entries may since have grown, so the bound only errs low, which
+    // only makes the legacy switch trigger earlier — always safe).
+    fs_min_nu: f64,
+    // Sticky switch into the legacy-key regime: set once any user's
+    // decayed usage approaches the subnormal range, where the legacy
+    // `powf` values lose the precision that makes them order-equivalent
+    // to the normalized key (see DESIGN.md §6). From then on ordering
+    // uses per-read legacy keys, exactly like the reference code.
+    fs_legacy_keys: bool,
+    /// Set by a legacy resort that found every pending user's decayed
+    /// usage to be exactly `0.0`. Zero is absorbing — decay only
+    /// multiplies by a factor in `[0, 1]` — so from that moment the
+    /// legacy key is time-invariant and the pending order frozen, which
+    /// is what lets [`Sim::can_skip_schedule`] skip again after the
+    /// legacy switch. Cleared by usage recordings and by inserts
+    /// carrying nonzero usage.
+    usage_all_zero: bool,
     /// Reusable planning buffers.
     scratch: Scratch,
 }
@@ -659,9 +859,18 @@ impl<'a> Sim<'a> {
             cfg,
             queue: EventQueue::with_capacity(jobs.len() * 2 + 16),
             alloc: Allocation::new(cfg.cluster.nodes),
-            pending: Vec::new(),
+            pending: PendQueue {
+                track_users: cfg.fair_share.is_some(),
+                ..PendQueue::default()
+            },
             priorities: vec![0; jobs.len()],
-            usage: std::collections::HashMap::new(),
+            fs_usage: UserMap::default(),
+            fs_shift: 0.0,
+            fs_dirty: UserSet::default(),
+            fs_legacy: UserMap::default(),
+            fs_min_nu: f64::INFINITY,
+            fs_legacy_keys: false,
+            usage_all_zero: false,
             running: Vec::new(),
             suspended: Vec::new(),
             books: jobs
@@ -695,9 +904,6 @@ impl<'a> Sim<'a> {
                 .power_budget
                 .as_ref()
                 .map(|b| Power::from_watts(b.values().iter().copied().fold(0.0, f64::max))),
-            pending_dirty: false,
-            last_sorted_at: None,
-            usage_all_zero: false,
             quiescent: false,
             quiescent_budget: None,
             quiescent_resume_ok: true,
@@ -710,12 +916,58 @@ impl<'a> Sim<'a> {
         }
     }
 
-    /// Decayed usage of a user at `now` (node-seconds, half-life decay).
-    fn decayed_usage(&self, user: u32, now: SimTime) -> f64 {
+    /// Exponent of the normalization factor at `t`: how many half-lives
+    /// `t` sits past the current epoch. A value recorded at `t` enters
+    /// the map as `node_seconds × 2^e(t)`; dividing two users' stored
+    /// values cancels the common factor, so comparing them IS comparing
+    /// decayed usage — no per-read `powf`.
+    fn fs_exponent(&self, t: SimTime) -> f64 {
+        // Only called with fair share enabled; the identity exponent is
+        // a harmless answer for the unreachable disabled case.
+        let Some(cfg) = self.cfg.fair_share.as_ref() else {
+            return 0.0;
+        };
+        t.as_secs() / cfg.half_life.as_secs() - self.fs_shift
+    }
+
+    /// Normalized usage of a user (identically 0.0 when fair share is
+    /// off: the map stays empty).
+    fn norm_usage(&self, user: u32) -> f64 {
+        self.fs_usage.get(&user).copied().unwrap_or(0.0)
+    }
+
+    /// Records usage for a user at `now`, in both representations. The
+    /// only operation that can change *relative* fair-share order:
+    /// decay between recordings scales every user's usage by the same
+    /// factor, preserving order, so only the recorded user goes dirty.
+    fn record_usage(&mut self, user: u32, node_seconds: f64, now: SimTime) {
+        if self.cfg.fair_share.is_none() {
+            return;
+        }
+        // The legacy representation: decay-to-now, then add. One `powf`
+        // per recording, exactly as the reference code chained them.
+        let decayed = self.legacy_usage(user, now);
+        self.fs_legacy.insert(user, (decayed + node_seconds, now));
+        self.fs_dirty.insert(user);
+        self.usage_all_zero = false;
+        self.quiescent = false;
+        let mut e = self.fs_exponent(now);
+        if e > FS_RENORM_HALF_LIVES {
+            self.fs_renormalize(e);
+            e = self.fs_exponent(now);
+        }
+        let nu = self.fs_usage.entry(user).or_insert(0.0);
+        *nu += node_seconds * f64::exp2(e);
+        self.fs_min_nu = self.fs_min_nu.min(*nu);
+    }
+
+    /// Decayed usage of a user at `now` under the legacy representation
+    /// (node-seconds, half-life decay, per-read `powf`).
+    fn legacy_usage(&self, user: u32, now: SimTime) -> f64 {
         let Some(cfg) = &self.cfg.fair_share else {
             return 0.0;
         };
-        match self.usage.get(&user) {
+        match self.fs_legacy.get(&user) {
             Some(&(value, at)) => {
                 let dt = now.saturating_since(at).as_secs();
                 value * 0.5f64.powf(dt / cfg.half_life.as_secs())
@@ -724,66 +976,258 @@ impl<'a> Sim<'a> {
         }
     }
 
-    /// Records usage for a user at `now`. Marks the pending order dirty:
-    /// this is the only operation that can change *relative* fair-share
-    /// order (decay between recordings scales every user's usage by the
-    /// same factor, preserving order).
-    fn record_usage(&mut self, user: u32, node_seconds: f64, now: SimTime) {
-        if self.cfg.fair_share.is_none() {
-            return;
+    /// Whether ordering must switch to legacy keys at `now`: true once
+    /// the smallest positive normalized usage corresponds to a decayed
+    /// value within [`FS_DEGRADE_MARGIN_HALF_LIVES`] half-lives of the
+    /// subnormal range. Below that, the legacy values' own rounding —
+    /// which the goldens pin — is no longer reproduced by comparing
+    /// normalized values at full precision. Evaluated in log space so
+    /// the probe itself cannot underflow.
+    fn fs_should_degrade(&self, now: SimTime) -> bool {
+        if self.fs_min_nu == f64::INFINITY {
+            return false;
         }
-        let decayed = self.decayed_usage(user, now);
-        self.usage.insert(user, (decayed + node_seconds, now));
-        self.pending_dirty = true;
-        self.usage_all_zero = false;
-        self.quiescent = false;
+        self.fs_min_nu.log2() - self.fs_exponent(now) < FS_DEGRADE_MIN_EXP
     }
 
-    /// THE pending-order key — the one definition both the sorted insert
-    /// and the fair-share resort use: queue priority (desc), decayed
-    /// fair-share usage at `now` (asc; identically 0.0 when fair share
-    /// is off), submit time, then id. The id makes the key unique, so
-    /// sorted-insert and full-sort produce the same total order.
-    fn pending_key(&self, i: usize, now: SimTime) -> PendKey {
+    /// Advances the normalization epoch by `⌊e⌋` half-lives, rescaling
+    /// every stored value by the exact power of two `2^-⌊e⌋`. The
+    /// rescale is exact (power-of-two multiply) unless a value
+    /// underflows toward subnormal range — and a subnormal collapse can
+    /// merge previously-distinct usages into a tie, so every pending
+    /// user is marked dirty and the next fix-up restores full sorted
+    /// order under the rescaled keys. Underflow all the way to `0.0`
+    /// mirrors the old `powf` path, which also underflowed after
+    /// ~1000 half-lives of decay.
+    fn fs_renormalize(&mut self, e: f64) {
+        let k = e.floor();
+        let scale = f64::exp2(-k);
+        for v in self.fs_usage.values_mut() {
+            *v *= scale;
+        }
+        self.fs_shift += k;
+        self.stats.fs_renorms += 1;
+        for &u in &self.pending.user {
+            self.fs_dirty.insert(u);
+        }
+        // The bound rescales exactly like the values, but recompute it
+        // from scratch: entries that grew since the bound was taken make
+        // the stale bound pessimistic, and underflowed-to-zero entries
+        // must drop out (zero has no legacy precision left to protect —
+        // by the time a *renorm* can underflow a value, the legacy
+        // switch below has long since fired for it).
+        self.fs_min_nu = self
+            .fs_usage
+            .values()
+            .copied()
+            .filter(|&v| v > 0.0)
+            .fold(f64::INFINITY, f64::min);
+    }
+
+    /// THE pending-order key — the one definition the sorted insert,
+    /// the incremental fix-up and the full-resort oracle all use: queue
+    /// priority (desc), normalized fair-share usage (asc; identically
+    /// 0.0 when fair share is off), submit time, then id. The id makes
+    /// the key unique, so sorted-insert and full-sort produce the same
+    /// total order. Time-invariant between usage recordings — the key
+    /// needs no `now`.
+    fn pending_key(&self, i: usize) -> PendKey {
         (
             std::cmp::Reverse(self.priorities[i]),
-            self.decayed_usage(self.jobs[i].user, now),
+            self.norm_usage(self.jobs[i].user),
             self.jobs[i].submit,
             self.jobs[i].id,
         )
     }
 
-    /// Re-sorts the pending list by [`Sim::pending_key`]. Skipped only
-    /// when provably identical to the last resort: same timestamp and no
-    /// usage recorded since (same-timestamp inserts keep the list
-    /// key-sorted, see [`Sim::pending_insert`]). Re-sorting whenever
-    /// `now` advances is required for bit-faithful replay — see
-    /// `last_sorted_at`. The sort itself is allocation-free (scratch
-    /// buffers) and memoizes the per-user decay.
-    fn resort_pending(&mut self, now: SimTime) {
-        if self.cfg.fair_share.is_none() || self.pending.len() < 2 {
+    /// Restores pending order after usage recordings: repositions only
+    /// the dirty users' jobs (remove + sorted re-insert, O(k log n))
+    /// instead of rebuilding and sorting the whole queue. Keys are
+    /// unique and the clean entries are already in order, so the result
+    /// equals a full sort exactly — [`Sim::resort_pending_full`] is the
+    /// always-compiled oracle asserting that. A pass with no recordings
+    /// since the last fix-up has provably unchanged order (the key is
+    /// time-invariant) and skips outright — the gate the old
+    /// timestamp-keyed skip could never hit under load.
+    ///
+    /// Once decayed usage approaches the subnormal range the whole
+    /// ordering switches — stickily — to [`Sim::resort_pending_legacy`],
+    /// which reproduces the reference `powf`-per-read behavior (see
+    /// [`FS_DEGRADE_MIN_EXP`]).
+    #[inline]
+    fn fixup_pending(&mut self, now: SimTime) {
+        if self.cfg.fair_share.is_none() {
             return;
         }
-        if !self.pending_dirty && self.last_sorted_at == Some(now) {
+        self.fixup_pending_fs(now);
+    }
+
+    /// The fair-share-only body of [`Sim::fixup_pending`], outlined so
+    /// the (large) extraction-and-merge machinery never inlines into —
+    /// and pessimizes register allocation across — `schedule_pass`,
+    /// which non-fair-share configs drive through the same call site.
+    #[inline(never)]
+    fn fixup_pending_fs(&mut self, now: SimTime) {
+        if !self.fs_legacy_keys && self.fs_should_degrade(now) {
+            self.fs_legacy_keys = true;
+        }
+        if self.fs_legacy_keys {
+            self.resort_pending_legacy(now);
+            return;
+        }
+        if fair_share_oracle_resort() {
+            self.resort_pending_full();
+            return;
+        }
+        if self.fs_dirty.is_empty() {
             self.stats.resorts_skipped += 1;
             return;
         }
-        self.pending_dirty = false;
-        self.last_sorted_at = Some(now);
+        if self.pending.len() < 2 {
+            self.fs_dirty.clear();
+            return;
+        }
+        // The per-user counts bound the extraction: no pending work for
+        // any dirty user means the order is provably unchanged, without
+        // touching the queue at all.
+        let k: usize = self
+            .fs_dirty
+            .iter()
+            .map(|&u| self.pending.count(u) as usize)
+            .sum();
+        if k == 0 {
+            self.fs_dirty.clear();
+            self.stats.resorts_skipped += 1;
+            return;
+        }
+        // Extract the dirty users' entries (with their new keys) in one
+        // lockstep compaction over the queue's dense user array — no
+        // random `jobs[i]` loads for the clean majority. The dirty set
+        // is almost always a single user (one completion, one recording,
+        // one fix-up), so it is tested from a small stack copy instead
+        // of hashing every element. The compaction itself is three
+        // phases: scan the untouched clean prefix without copies, test-
+        // and-compact until all `k` counted entries are found, then
+        // bulk-move the clean suffix.
+        let mut moved = std::mem::take(&mut self.scratch.keyed);
+        let cap = moved.capacity();
+        moved.clear();
+        let mut q = std::mem::take(&mut self.pending);
+        let mut small = [0u32; 8];
+        let nd = self.fs_dirty.len();
+        let use_small = nd <= small.len();
+        if use_small {
+            for (s, &u) in small.iter_mut().zip(self.fs_dirty.iter()) {
+                *s = u;
+            }
+        }
+        let is_dirty = |fsd: &UserSet, u: u32| {
+            if use_small {
+                small[..nd].contains(&u)
+            } else {
+                fsd.contains(&u)
+            }
+        };
+        let n = q.idx.len();
+        // Phase 1: clean prefix — pure scan, no copies.
+        let mut read = 0;
+        while read < n && !is_dirty(&self.fs_dirty, q.user[read]) {
+            read += 1;
+        }
+        // Phase 2: compact until every counted dirty entry is out.
+        let mut write = read;
+        while read < n && moved.len() < k {
+            let u = q.user[read];
+            if is_dirty(&self.fs_dirty, u) {
+                let i = q.idx[read];
+                moved.push((
+                    std::cmp::Reverse(self.priorities[i]),
+                    self.norm_usage(u),
+                    self.jobs[i].submit,
+                    self.jobs[i].id,
+                    i,
+                ));
+            } else {
+                q.keep(write, read);
+                write += 1;
+            }
+            read += 1;
+        }
+        debug_assert_eq!(moved.len(), k);
+        // Phase 3: clean suffix — one bulk move per array.
+        if read < n {
+            q.idx.copy_within(read..n, write);
+            q.user.copy_within(read..n, write);
+            write += n - read;
+        }
+        q.truncate(write);
+        self.fs_dirty.clear();
+        if moved.is_empty() {
+            // The recorded users had nothing pending: order unchanged.
+            self.pending = q;
+            self.stats.resorts_skipped += 1;
+            self.scratch.keyed = moved;
+            return;
+        }
+        moved.sort_unstable_by(|a, b| pend_key_cmp(&(a.0, a.1, a.2, a.3), &(b.0, b.1, b.2, b.3)));
+        // Block merge of the two sorted runs, from the back: each moved
+        // entry's insertion point is found by binary search (O(k log n)
+        // key evaluations total) and the clean entries between two
+        // insertion points shift as one `copy_within` block — no per-
+        // element key reads, unlike a classic two-finger merge. Keys are
+        // unique, so the result is the one total order a full sort
+        // would produce.
+        let clean = write;
+        let total = clean + moved.len();
+        q.idx.resize(total, usize::MAX);
+        q.user.resize(total, 0);
+        let mut src = clean; // clean entries still at [0..src)
+        let mut dst = total; // everything at [dst..total) is placed
+        for j in (0..moved.len()).rev() {
+            let m = &moved[j];
+            let mk = (m.0, m.1, m.2, m.3);
+            // First clean position whose key exceeds the moved key —
+            // keys are unique, so "not Greater" is exactly "Less".
+            let pos = q.idx[..src].partition_point(|&p| {
+                pend_key_cmp(&self.pending_key(p), &mk) != std::cmp::Ordering::Greater
+            });
+            let len = src - pos;
+            if len > 0 {
+                q.idx.copy_within(pos..src, dst - len);
+                q.user.copy_within(pos..src, dst - len);
+                dst -= len;
+            }
+            dst -= 1;
+            q.idx[dst] = m.4;
+            q.user[dst] = self.jobs[m.4].user;
+            src = pos;
+        }
+        debug_assert_eq!(src, dst);
+        self.pending = q;
+        self.stats.fs_repositions += moved.len() as u64;
+        if moved.capacity() != cap {
+            self.stats.scratch_grows += 1;
+        }
+        self.scratch.keyed = moved;
+    }
+
+    /// The pre-incremental reference: rebuild and fully sort the
+    /// pending queue by [`Sim::pending_key`]. Runs on *every* pass in
+    /// oracle mode (so a latently unsorted queue cannot hide behind a
+    /// clean dirty set), allocation-free via the scratch buffer.
+    fn resort_pending_full(&mut self) {
+        self.fs_dirty.clear();
+        if self.pending.len() < 2 {
+            return;
+        }
         self.stats.resorts_taken += 1;
         let mut keyed = std::mem::take(&mut self.scratch.keyed);
-        let mut memo = std::mem::take(&mut self.scratch.usage_memo);
-        let caps = (keyed.capacity(), memo.capacity());
+        let cap = keyed.capacity();
         keyed.clear();
-        memo.clear();
-        for &i in &self.pending {
-            let user = self.jobs[i].user;
-            let usage = *memo
-                .entry(user)
-                .or_insert_with(|| self.decayed_usage(user, now));
+        for &i in self.pending.iter() {
             keyed.push((
                 std::cmp::Reverse(self.priorities[i]),
-                usage,
+                self.norm_usage(self.jobs[i].user),
                 self.jobs[i].submit,
                 self.jobs[i].id,
                 i,
@@ -792,9 +1236,58 @@ impl<'a> Sim<'a> {
         // Unique ids make the order total: unstable sort is exact and,
         // unlike the stable sort, allocation-free.
         keyed.sort_unstable_by(|a, b| pend_key_cmp(&(a.0, a.1, a.2, a.3), &(b.0, b.1, b.2, b.3)));
+        let jobs = self.jobs;
+        self.pending.idx.clear();
+        self.pending.idx.extend(keyed.iter().map(|k| k.4));
+        self.pending.user.clear();
+        self.pending
+            .user
+            .extend(keyed.iter().map(|k| jobs[k.4].user));
+        if keyed.capacity() != cap {
+            self.stats.scratch_grows += 1;
+        }
+        self.scratch.keyed = keyed;
+    }
+
+    /// The reference resort, bit for bit: rebuild and fully sort the
+    /// pending queue under per-read legacy `powf` keys at `now`,
+    /// memoizing the decay per user. Runs on every pass once the legacy
+    /// switch has fired; also maintains `usage_all_zero`, the absorbing
+    /// state that lets [`Sim::can_skip_schedule`] skip again after
+    /// every usage has underflowed to exactly zero.
+    fn resort_pending_legacy(&mut self, now: SimTime) {
+        self.fs_dirty.clear();
+        if self.pending.len() < 2 {
+            return;
+        }
+        self.stats.resorts_taken += 1;
+        let mut keyed = std::mem::take(&mut self.scratch.keyed);
+        let mut memo = std::mem::take(&mut self.scratch.usage_memo);
+        let caps = (keyed.capacity(), memo.capacity());
+        keyed.clear();
+        memo.clear();
+        for &i in self.pending.iter() {
+            let user = self.jobs[i].user;
+            let usage = *memo
+                .entry(user)
+                .or_insert_with(|| self.legacy_usage(user, now));
+            keyed.push((
+                std::cmp::Reverse(self.priorities[i]),
+                usage,
+                self.jobs[i].submit,
+                self.jobs[i].id,
+                i,
+            ));
+        }
+        keyed.sort_unstable_by(|a, b| pend_key_cmp(&(a.0, a.1, a.2, a.3), &(b.0, b.1, b.2, b.3)));
         self.usage_all_zero = memo.values().all(|&v| v == 0.0);
-        self.pending.clear();
-        self.pending.extend(keyed.iter().map(|k| k.4));
+        let jobs = self.jobs;
+        self.pending.idx.clear();
+        self.pending.idx.extend(keyed.iter().map(|k| k.4));
+        self.pending.user.clear();
+        self.pending
+            .user
+            .extend(keyed.iter().map(|k| jobs[k.4].user));
         if (keyed.capacity(), memo.capacity()) != caps {
             self.stats.scratch_grows += 1;
         }
@@ -802,21 +1295,53 @@ impl<'a> Sim<'a> {
         self.scratch.usage_memo = memo;
     }
 
-    /// Sorted insert by [`Sim::pending_key`] — the same key the resort
-    /// uses, so the list is in final order immediately (the old insert
-    /// ignored usage and relied on a per-pass resort to fix it up).
-    /// Decayed usage for probed entries is computed along the binary
-    /// search path: O(log n) usage evaluations, allocation-free.
+    /// Legacy-regime pending key at `now` (per-read `powf`).
+    fn pending_key_legacy(&self, i: usize, now: SimTime) -> PendKey {
+        (
+            std::cmp::Reverse(self.priorities[i]),
+            self.legacy_usage(self.jobs[i].user, now),
+            self.jobs[i].submit,
+            self.jobs[i].id,
+        )
+    }
+
+    /// Sorted insert by [`Sim::pending_key`] — the same key the fix-up
+    /// and the oracle use, so the list is in final order immediately.
+    /// O(log n) key evaluations along the binary search path,
+    /// allocation-free; the normalized key is time-invariant, so `now`
+    /// only matters in the legacy regime (where the insert replays the
+    /// reference per-read `powf` keys, and a nonzero usage un-freezes
+    /// the absorbed all-zero state).
     fn pending_insert(&mut self, idx: usize, now: SimTime) {
         self.quiescent = false;
-        let key = self.pending_key(idx, now);
-        if key.1 != 0.0 {
-            self.usage_all_zero = false;
+        // The binary search probes *live* keys, so it requires the queue
+        // to be fully sorted under them — i.e. no usage recording may be
+        // outstanding. That holds structurally: `record_usage` only runs
+        // from `finish_job`, and every Finish event is followed by a
+        // `try_schedule` whose pass (never skippable — the finish
+        // cleared `quiescent`) fixes the order before the next event can
+        // insert.
+        debug_assert!(self.fs_dirty.is_empty());
+        if self.cfg.fair_share.is_some() && !self.fs_legacy_keys && self.fs_should_degrade(now) {
+            self.fs_legacy_keys = true;
         }
+        let user = self.jobs[idx].user;
+        if self.fs_legacy_keys {
+            let key = self.pending_key_legacy(idx, now);
+            if key.1 != 0.0 {
+                self.usage_all_zero = false;
+            }
+            let pos = self.pending.partition_point(|&p| {
+                pend_key_cmp(&self.pending_key_legacy(p, now), &key) != std::cmp::Ordering::Greater
+            });
+            self.pending.insert(pos, idx, user);
+            return;
+        }
+        let key = self.pending_key(idx);
         let pos = self.pending.partition_point(|&p| {
-            pend_key_cmp(&self.pending_key(p, now), &key) != std::cmp::Ordering::Greater
+            pend_key_cmp(&self.pending_key(p), &key) != std::cmp::Ordering::Greater
         });
-        self.pending.insert(pos, idx);
+        self.pending.insert(pos, idx, user);
     }
 
     /// Budget lookup hoisted to bucket granularity: the value is cached
@@ -877,6 +1402,7 @@ impl<'a> Sim<'a> {
 
     /// Chooses the allocation for a start attempt, or `None` if the job
     /// cannot start now.
+    #[inline]
     fn choose_alloc(&self, idx: usize, now: SimTime) -> Option<u32> {
         let job = &self.jobs[idx];
         let (min, max) = job.bounds();
@@ -1015,6 +1541,7 @@ impl<'a> Sim<'a> {
     }
 
     /// Whether a pending job may start now under the carbon-aware gate.
+    #[inline]
     fn eligible(&self, idx: usize, now: SimTime) -> bool {
         let Policy::CarbonAware(cfg) = &self.cfg.policy else {
             return true;
@@ -1070,9 +1597,11 @@ impl<'a> Sim<'a> {
     /// the same `None`s fall out. EASY backfill additionally compares
     /// `now + walltime` against the absolute shadow time, which only
     /// flips feasible→infeasible as `now` advances. Resumes are gated
-    /// on `resume_allowed` (tracked as a bool) and `choose_alloc`. The
-    /// deferred fair-share resort is order-equivalent: the next real
-    /// pass resorts before deciding anything.
+    /// on `resume_allowed` (tracked as a bool) and `choose_alloc`.
+    /// Fair share imposes no extra guard: the normalized pending key is
+    /// time-invariant, and the only operation that changes relative
+    /// order (`record_usage`) clears `quiescent` itself — so while
+    /// quiescent holds, the pending order is frozen.
     fn can_skip_schedule(&self, now: SimTime) -> bool {
         if !self.quiescent {
             return false;
@@ -1090,15 +1619,19 @@ impl<'a> Sim<'a> {
         if matches!(self.cfg.policy, Policy::ConservativeBackfill) && !self.running.is_empty() {
             return false;
         }
-        // Fair-share order can drift as `now` advances even with no
-        // usage recorded: `powf` rounding flips near-equal decayed
-        // usages, and each user's usage underflows to exactly 0.0 at a
-        // user-specific time — either can change the head and hence the
-        // decisions. Skip only once a resort has observed every pending
-        // user's usage at exactly 0.0: zero is absorbing, so from then
-        // on the key is time-invariant and the order frozen. (With
-        // fewer than two pending jobs the order is vacuously frozen.)
-        if self.cfg.fair_share.is_some() && self.pending.len() >= 2 && !self.usage_all_zero {
+        // Fair share blocks skipping only in the legacy-key regime,
+        // where the per-read `powf` key drifts as `now` advances (and
+        // underflows to exactly 0.0 at a user-specific time). Once a
+        // legacy resort has observed every pending user's usage at
+        // exactly 0.0, zero is absorbing and the order is frozen again.
+        // In the normalized regime the key is time-invariant, so no
+        // guard is needed — but a pass that *would* cross into the
+        // legacy regime must run so the switch happens on schedule.
+        if self.cfg.fair_share.is_some()
+            && self.pending.len() >= 2
+            && !self.usage_all_zero
+            && (self.fs_legacy_keys || self.fs_should_degrade(now))
+        {
             return false;
         }
         // A budget change alters `choose_alloc`. Compare the value, not
@@ -1117,8 +1650,9 @@ impl<'a> Sim<'a> {
 
     /// The core scheduling pass: resume suspended, start pending (with
     /// EASY backfilling where enabled).
+    #[inline(never)]
     fn schedule_pass(&mut self, now: SimTime) {
-        self.resort_pending(now);
+        self.fixup_pending(now);
         // 1. Resume suspended jobs (FIFO) if the grid allows it. Jobs
         // that resume are compacted out in place — same visit order and
         // intervening mutations as the old remove-and-continue loop,
@@ -1161,7 +1695,7 @@ impl<'a> Sim<'a> {
             let Some(head_pos) =
                 (consumed..self.pending.len()).find(|&p| self.eligible(self.pending[p], now))
             else {
-                self.pending.drain(..consumed);
+                self.pending.drain_front(consumed);
                 return;
             };
             let head_idx = self.pending[head_pos];
@@ -1179,7 +1713,7 @@ impl<'a> Sim<'a> {
             }
             // Head blocked: drain started heads before backfill walks
             // the list, then backfill if the policy allows.
-            self.pending.drain(..consumed);
+            self.pending.drain_front(consumed);
             if matches!(self.cfg.policy, Policy::Fcfs) {
                 return;
             }
@@ -1295,9 +1829,9 @@ impl<'a> Sim<'a> {
                     // at real starts)? `choose_alloc` already guarantees
                     // the class minimum when it returns Some.
                     if let Some(actual) = self.choose_alloc(idx, now) {
-                        // `idx` came off the pending list above; retain
-                        // removes it without a panicking position lookup.
-                        self.pending.retain(|&p| p != idx);
+                        // `idx` came off the pending list above; the
+                        // lookup-then-remove tolerates it being gone.
+                        self.pending.remove_job(idx);
                         let work = job.work;
                         self.start_job(idx, actual, work, now);
                         continue 'restart;
@@ -1328,6 +1862,7 @@ impl<'a> Sim<'a> {
     }
 
     /// EASY backfilling around a blocked head job.
+    #[inline(never)]
     fn backfill(&mut self, head_idx: usize, now: SimTime) {
         let head_job = &self.jobs[head_idx];
         let (head_min, _) = head_job.bounds();
@@ -1380,13 +1915,59 @@ impl<'a> Sim<'a> {
         // Try to backfill later pending jobs. Started jobs are compacted
         // out in place — same visit order and intervening mutations as
         // the old remove-and-continue loop, without the O(n) removes.
+        //
+        // Two copies of the walk, chosen once by `track_users`: the
+        // untracked loop touches only `idx` and compiles to the same
+        // register-resident compaction as the pre-PendQueue code, while
+        // the tracked loop additionally carries the user array and the
+        // per-user counts. Folding them into one loop keeps the extra
+        // state live across the `choose_alloc`/`start_job` calls and
+        // spills the compaction cursors — measurably slower for the
+        // (dominant) non-fair-share configs.
+        if !self.pending.track_users {
+            let mut write = 0;
+            let mut read = 0;
+            while read < self.pending.idx.len() {
+                let idx = self.pending.idx[read];
+                // Keep the head; skip ineligible jobs (carbon gate).
+                if idx == head_idx || !self.eligible(idx, now) {
+                    self.pending.idx[write] = idx;
+                    write += 1;
+                    read += 1;
+                    continue;
+                }
+                let job = &self.jobs[idx];
+                let mut started = false;
+                if let Some(alloc) = self.choose_alloc(idx, now) {
+                    let fits_before_shadow = now + job.walltime_estimate <= shadow;
+                    let fits_in_spare = alloc <= spare;
+                    if fits_before_shadow || fits_in_spare {
+                        if !fits_before_shadow {
+                            // This job holds nodes past the shadow: it
+                            // draws down the spare pool.
+                            spare -= alloc;
+                        }
+                        let work = job.work;
+                        self.start_job(idx, alloc, work, now);
+                        started = true;
+                    }
+                }
+                if !started {
+                    self.pending.idx[write] = idx;
+                    write += 1;
+                }
+                read += 1;
+            }
+            self.pending.idx.truncate(write);
+            return;
+        }
         let mut write = 0;
         let mut read = 0;
-        while read < self.pending.len() {
-            let idx = self.pending[read];
+        while read < self.pending.idx.len() {
+            let idx = self.pending.idx[read];
             // Keep the head; skip ineligible jobs (carbon-aware gate).
             if idx == head_idx || !self.eligible(idx, now) {
-                self.pending[write] = idx;
+                self.pending.keep(write, read);
                 write += 1;
                 read += 1;
                 continue;
@@ -1402,13 +1983,16 @@ impl<'a> Sim<'a> {
                         // down the spare pool.
                         spare -= alloc;
                     }
+                    // The compaction drops this entry implicitly: keep
+                    // the per-user counts in step.
+                    self.pending.uncount(read);
                     let work = job.work;
                     self.start_job(idx, alloc, work, now);
                     started = true;
                 }
             }
             if !started {
-                self.pending[write] = idx;
+                self.pending.keep(write, read);
                 write += 1;
             }
             read += 1;

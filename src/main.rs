@@ -315,6 +315,10 @@ fn print_hot_path_stats() {
         s.spec_invalidations,
         sustain_hpc::core::sweep::effective_threads()
     );
+    eprintln!(
+        "sim fair share: {} jobs repositioned | {} usage-epoch renorms",
+        s.fs_repositions, s.fs_renorms
+    );
     print_memo_cache_stats();
 }
 

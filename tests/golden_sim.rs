@@ -108,6 +108,26 @@ fn check(name: &str, jobs: &[Job], cfg: &SimConfig) {
                 .unwrap_or_else(|| "(prefix equal; lengths differ)".into()),
         );
     }
+    // Fair-share scenarios additionally replay in full-resort oracle
+    // mode: the incremental repositioning and the rebuild-and-sort
+    // reference must land on the same bytes. The toggle is process-
+    // global and tests run concurrently, so a sibling scenario may
+    // momentarily replay in oracle mode too — equally byte-identical,
+    // just slower.
+    if cfg.fair_share.is_some() {
+        sustain_hpc::scheduler::sim::set_fair_share_oracle_resort(true);
+        let got = canonical(&simulate(jobs, cfg));
+        sustain_hpc::scheduler::sim::set_fair_share_oracle_resort(false);
+        let path = golden_path(name);
+        let want = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden snapshot {}: {e}", path.display()));
+        assert!(
+            got == want,
+            "scenario `{name}` in full-resort oracle mode diverged from \
+             its golden snapshot: the incremental pending order is not \
+             equivalent to the full resort"
+        );
+    }
 }
 
 /// Deterministic synthetic trace: diurnal + weekly swing, 100–320 g/kWh,

@@ -60,7 +60,8 @@ pub mod prelude {
     pub use crate::site::{lifetime_report, LifetimeCarbonReport, Site};
     pub use crate::sweep::{
         calibrated_trace, set_threads, sweep, sweep_seeded, try_sweep, try_sweep_memo_with_ctl,
-        try_sweep_resumable, try_sweep_seeded, try_sweep_seeded_with_ctl, PointError,
+        try_sweep_resumable, try_sweep_resumable_retry, try_sweep_retry_with_ctl, try_sweep_seeded,
+        try_sweep_seeded_with_ctl, PointError, PointRun,
     };
     pub use sustain_carbon_model::metrics::DesignMetric;
     pub use sustain_carbon_model::system::SystemInventory;
@@ -73,6 +74,7 @@ pub mod prelude {
     pub use sustain_scheduler::sim::{simulate, CarbonAwareCfg, CheckpointCfg, Policy, SimConfig};
     pub use sustain_sim_core::ctl::{CancelToken, Deadline, RunCtl};
     pub use sustain_sim_core::error::{ConfigError, SimError, Validate};
+    pub use sustain_sim_core::retry::{RetryPolicy, RetryStats};
     pub use sustain_sim_core::time::{SimDuration, SimTime};
     pub use sustain_sim_core::units::{Carbon, CarbonIntensity, Energy, Power};
     pub use sustain_workload::job::{Job, JobBuilder, JobClass, JobId};

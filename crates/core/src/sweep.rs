@@ -15,6 +15,12 @@
 //!   experiments whose points need independent randomness. The
 //!   derivation is pre-computed serially, so the seed a point receives
 //!   never depends on scheduling.
+//! * [`try_sweep_retry_with_ctl`] / [`try_sweep_resumable_retry`] add
+//!   the self-healing layer (DESIGN.md §11): transiently-failed points
+//!   re-execute under a deterministic [`RetryPolicy`], and points that
+//!   exhaust their attempts are quarantined as journal tombstones so a
+//!   resume never re-runs known-poison work unless `--retry-failed`
+//!   asks it to.
 //! * [`calibrated_trace`] resolves a `(region profile, days, seed)` key
 //!   through the process-wide [`TraceCache`], so a sweep whose points
 //!   share a grid window synthesizes and calibrates that trace exactly
@@ -48,6 +54,7 @@ use sustain_grid::trace::CarbonTrace;
 use sustain_sim_core::ctl::RunCtl;
 use sustain_sim_core::error::{env_knob_usize, ConfigError, SimError};
 use sustain_sim_core::hash::CanonicalHash;
+use sustain_sim_core::retry::{self, RetryPolicy};
 use sustain_sim_core::rng::RngStream;
 use sustain_sim_core::time::SimTime;
 
@@ -330,6 +337,72 @@ where
     }
 }
 
+/// One point's outcome from a retrying sweep driver: the final result
+/// plus how many attempts it took to get there.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointRun<R> {
+    /// The point's final result after retries (the last error when the
+    /// attempt budget was exhausted).
+    pub result: Result<R, SimError>,
+    /// Executed attempts: `1` = first-try success, `> 1` = healed or
+    /// exhausted after retries, `0` = never ran (pre-cancelled, or
+    /// replayed/skipped from a journal).
+    pub attempts: usize,
+}
+
+/// Self-healing [`try_sweep_seeded_with_ctl`]: each point runs under
+/// `policy`, re-executing [`sustain_sim_core::error::Transience::Transient`]
+/// failures (injected faults, caught panics) with deterministic
+/// backoff jittered from the point's own derived seed — so the retry
+/// schedule, like the results, replays bit-for-bit.
+///
+/// Because point functions are pure in `(point, seed)` — the same
+/// contract the memoization layer's canonical-hash dedup relies on — a
+/// successful retry is byte-identical to a first-try success: with all
+/// faults transient and enough attempts, the output equals the
+/// fault-free run's exactly (asserted in `tests/self_healing.rs`).
+///
+/// `ctl` is honored between attempts and mid-backoff; `Cancelled` and
+/// permanent errors are never retried. Per-point attempt counts come
+/// back in [`PointRun`].
+pub fn try_sweep_retry_with_ctl<P, R, F>(
+    master_seed: u64,
+    points: &[P],
+    ctl: &RunCtl,
+    policy: &RetryPolicy,
+    f: F,
+) -> Result<Vec<PointRun<R>>, SimError>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(&P, u64) -> Result<R, SimError> + Sync,
+{
+    let seeds: Vec<u64> = (0..points.len() as u64)
+        .map(|i| point_seed(master_seed, i))
+        .collect();
+    let completed = AtomicUsize::new(0);
+    let runs: Vec<PointRun<R>> = (0..points.len())
+        .into_par_iter()
+        .map(|index| {
+            let (result, attempts) = retry::run_with_retry(policy, seeds[index], ctl, || {
+                run_point(index, || f(&points[index], seeds[index]))
+            });
+            if result.is_ok() {
+                completed.fetch_add(1, Ordering::Relaxed);
+            }
+            PointRun { result, attempts }
+        })
+        .collect();
+    match ctl.cancelled_reason() {
+        Some(reason) => Err(sweep_cancelled(
+            reason,
+            completed.load(Ordering::Relaxed),
+            points.len(),
+        )),
+        None => Ok(runs),
+    }
+}
+
 /// Content-addressed variant of [`try_sweep_seeded_with_ctl`] for pure
 /// point functions: duplicate points collapse to one computation.
 ///
@@ -423,30 +496,38 @@ fn journal_io_error(action: &str, err: impl std::fmt::Display) -> SimError {
     }
 }
 
-/// Appends one completed point to the journal and fsyncs it: the line
-/// is only trusted on replay if its hash matches, so a torn final line
-/// from a crash mid-write is detected and re-run, never half-replayed.
-fn append_journal_entry(
+/// Appends one journal record — a completed point (`body_key =
+/// "payload"`) or a quarantine tombstone (`body_key = "tombstone"`,
+/// with the attempt count it burned) — and fsyncs it: the line is only
+/// trusted on replay if its hash (over the body JSON) matches, so a
+/// torn final line from a crash mid-write is detected and re-run,
+/// never half-replayed.
+fn append_journal_record(
     file: &Mutex<File>,
     index: usize,
     seed: u64,
-    payload: Value,
+    body_key: &str,
+    body: Value,
+    attempts: Option<usize>,
 ) -> Result<(), SimError> {
     // Fault sites fire before taking the lock: a panic-mode fault must
     // not poison the file mutex other points still append through.
     sustain_sim_core::faultpoint!("sweep::journal_write").map_err(SimError::from)?;
-    let payload_json = serde_json::to_string(&payload)
+    let body_json = serde_json::to_string(&body)
         .map_err(|e| journal_io_error("serializing journal payload", e))?;
-    let entry = Value::Object(vec![
+    let mut fields = vec![
         ("index".to_string(), Value::U64(index as u64)),
         ("seed".to_string(), Value::U64(seed)),
         (
             "hash".to_string(),
-            Value::Str(format!("{:016x}", fnv1a_64(payload_json.as_bytes()))),
+            Value::Str(format!("{:016x}", fnv1a_64(body_json.as_bytes()))),
         ),
-        ("payload".to_string(), payload),
-    ]);
-    let line = serde_json::to_string(&entry)
+        (body_key.to_string(), body),
+    ];
+    if let Some(n) = attempts {
+        fields.push(("attempts".to_string(), Value::U64(n as u64)));
+    }
+    let line = serde_json::to_string(&Value::Object(fields))
         .map_err(|e| journal_io_error("serializing journal entry", e))?;
     sustain_sim_core::faultpoint!("sweep::journal_sync").map_err(SimError::from)?;
     let mut guard = file.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
@@ -458,12 +539,37 @@ fn append_journal_entry(
         .map_err(|e| journal_io_error("fsyncing journal", e))
 }
 
-/// One validated line of the journal.
+/// Appends one completed point to the journal (see
+/// [`append_journal_record`]).
+fn append_journal_entry(
+    file: &Mutex<File>,
+    index: usize,
+    seed: u64,
+    payload: Value,
+) -> Result<(), SimError> {
+    append_journal_record(file, index, seed, "payload", payload, None)
+}
+
+/// What a validated journal line resolves to on replay.
+#[derive(Debug)]
+enum ReplayedSlot<R> {
+    /// A completed point: the row replays verbatim.
+    Row(R),
+    /// A quarantined point: the recorded terminal error and the
+    /// attempts it burned before being tombstoned.
+    Tombstone { error: SimError, attempts: usize },
+}
+
+/// One validated line of the journal: either a completed-point record
+/// (`"payload"`) or a quarantine tombstone (`"tombstone"`). Both are
+/// validated identically — index range, derived-seed match, body hash —
+/// so a tombstone from a foreign journal is rejected exactly like a
+/// corrupt row.
 fn parse_journal_line<R: Deserialize>(
     line: &str,
     points_len: usize,
     seeds: &[u64],
-) -> Result<(usize, R), String> {
+) -> Result<(usize, ReplayedSlot<R>), String> {
     let value: Value = serde_json::from_str(line).map_err(|e| format!("unparseable JSON: {e}"))?;
     let index = value["index"]
         .as_u64()
@@ -484,18 +590,33 @@ fn parse_journal_line<R: Deserialize>(
         ));
     }
     let hash = value["hash"].as_str().ok_or("missing \"hash\"")?;
-    let payload = &value["payload"];
-    let payload_json =
-        serde_json::to_string(payload).map_err(|e| format!("payload re-serialization: {e}"))?;
-    let expected = format!("{:016x}", fnv1a_64(payload_json.as_bytes()));
+    let (body, is_tombstone) = match value.get("tombstone") {
+        Some(tombstone) => (tombstone, true),
+        None => (&value["payload"], false),
+    };
+    let body_json =
+        serde_json::to_string(body).map_err(|e| format!("payload re-serialization: {e}"))?;
+    let expected = format!("{:016x}", fnv1a_64(body_json.as_bytes()));
     if hash != expected {
         return Err(format!(
             "hash mismatch at point {index}: journal says {hash}, payload hashes to {expected}"
         ));
     }
-    let row = R::from_value(payload).map_err(|e| format!("payload at point {index}: {e:?}"))?;
-    Ok((index, row))
+    if is_tombstone {
+        let error =
+            SimError::from_value(body).map_err(|e| format!("tombstone at point {index}: {e:?}"))?;
+        let attempts = value["attempts"]
+            .as_u64()
+            .ok_or("tombstone missing \"attempts\"")? as usize;
+        return Ok((index, ReplayedSlot::Tombstone { error, attempts }));
+    }
+    let row = R::from_value(body).map_err(|e| format!("payload at point {index}: {e:?}"))?;
+    Ok((index, ReplayedSlot::Row(row)))
 }
+
+/// Per-point replayed slots plus the byte length of the journal's
+/// valid prefix (see [`replay_journal`]).
+type ReplayedJournal<R> = (Vec<Option<ReplayedSlot<R>>>, u64);
 
 /// Replays a checkpoint journal: `replayed[i] = Some(row)` for every
 /// point with a valid journal line, plus the byte length of the valid
@@ -509,9 +630,9 @@ fn replay_journal<R: Deserialize>(
     path: &Path,
     points_len: usize,
     seeds: &[u64],
-) -> Result<(Vec<Option<R>>, u64), SimError> {
+) -> Result<ReplayedJournal<R>, SimError> {
     sustain_sim_core::faultpoint!("sweep::journal_replay").map_err(SimError::from)?;
-    let mut replayed: Vec<Option<R>> = (0..points_len).map(|_| None).collect();
+    let mut replayed: Vec<Option<ReplayedSlot<R>>> = (0..points_len).map(|_| None).collect();
     let text = match std::fs::read_to_string(path) {
         Ok(text) => text,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((replayed, 0)),
@@ -531,8 +652,11 @@ fn replay_journal<R: Deserialize>(
     let mut valid_bytes = 0u64;
     for (pos, (end, line)) in lines.iter().enumerate() {
         match parse_journal_line::<R>(line, points_len, seeds) {
-            Ok((index, row)) => {
-                replayed[index] = Some(row);
+            // Later lines supersede earlier ones: a point re-run under
+            // `--retry-failed` appends its fresh outcome after its
+            // tombstone, and the fresh outcome wins on the next replay.
+            Ok((index, slot)) => {
+                replayed[index] = Some(slot);
                 valid_bytes = *end;
             }
             // A torn final line is the expected crash artifact; the
@@ -558,10 +682,12 @@ fn replay_journal<R: Deserialize>(
 /// results to an uninterrupted run (asserted by the kill-and-resume
 /// test in `tests/sweep_resume.rs`).
 ///
-/// Failed points are *not* journaled: a resume retries them. The
-/// journal is validated against this sweep's derived seeds and payload
-/// hashes; a journal from a different sweep is a typed
-/// [`ConfigError`], not silent wrong results.
+/// Failed points are *not* journaled: a resume retries them (and a
+/// tombstone written by the quarantining driver
+/// [`try_sweep_resumable_retry`] is likewise re-run here, not
+/// honored). The journal is validated against this sweep's derived
+/// seeds and payload hashes; a journal from a different sweep is a
+/// typed [`ConfigError`], not silent wrong results.
 pub fn try_sweep_resumable<P, R, F>(
     master_seed: u64,
     points: &[P],
@@ -580,7 +706,7 @@ where
     // Replay runs inside the same fault boundary as appends: an
     // injected (or organic) panic while reading the journal must
     // surface as a typed error, not an unwind out of the sweep.
-    let (mut replayed, valid_bytes) = catch_unwind(AssertUnwindSafe(|| {
+    let (replayed, valid_bytes) = catch_unwind(AssertUnwindSafe(|| {
         replay_journal::<R>(journal_path, points.len(), &seeds)
     }))
     .unwrap_or_else(|payload| {
@@ -607,7 +733,7 @@ where
         _ => {}
     }
     let missing: Vec<usize> = (0..points.len())
-        .filter(|&i| replayed[i].is_none())
+        .filter(|&i| !matches!(replayed[i], Some(ReplayedSlot::Row(_))))
         .collect();
 
     let file = Mutex::new(
@@ -674,8 +800,15 @@ where
         ));
     }
 
-    let mut slots: Vec<Option<Result<R, SimError>>> =
-        replayed.iter_mut().map(|r| r.take().map(Ok)).collect();
+    let mut slots: Vec<Option<Result<R, SimError>>> = replayed
+        .into_iter()
+        .map(|slot| match slot {
+            Some(ReplayedSlot::Row(row)) => Some(Ok(row)),
+            // Tombstones from the quarantining driver count as missing
+            // here: this driver's contract is "failed points re-run".
+            Some(ReplayedSlot::Tombstone { .. }) | None => None,
+        })
+        .collect();
     for (index, result) in fresh {
         slots[index] = Some(result);
     }
@@ -684,6 +817,183 @@ where
         .map(|slot| {
             slot.unwrap_or_else(|| {
                 unreachable!("every sweep point is either replayed or freshly run")
+            })
+        })
+        .collect())
+}
+
+/// Self-healing, quarantining [`try_sweep_resumable`]: the resumable
+/// journal plus the retry layer plus **poison-point quarantine**.
+///
+/// Fresh points run under `policy` (transient failures re-execute with
+/// deterministic backoff, exactly as in [`try_sweep_retry_with_ctl`]).
+/// A point that *exhausts* its attempts — or fails permanently — is
+/// written to the journal as a hash-validated **tombstone** record
+/// carrying its terminal [`SimError`] and attempt count, so a resume
+/// skips known-poison work deterministically instead of re-running it
+/// forever. Passing `retry_failed = true` (the CLI's
+/// `sweep --retry-failed`) re-runs tombstoned points instead; their
+/// fresh outcome is appended after the tombstone and supersedes it on
+/// the next replay. `Cancelled` points are never journaled and never
+/// tombstoned: a shutdown mid-sweep must not quarantine healthy work.
+///
+/// Replayed successes come back with `attempts == 0`; skipped
+/// tombstones surface the recorded error with the recorded attempt
+/// count. Everything else about the journal contract (fsync'd
+/// JSON-lines, torn-tail tolerance and truncation, foreign-journal
+/// rejection as a typed [`ConfigError`]) is shared with
+/// [`try_sweep_resumable`].
+pub fn try_sweep_resumable_retry<P, R, F>(
+    master_seed: u64,
+    points: &[P],
+    journal_path: &Path,
+    ctl: &RunCtl,
+    policy: &RetryPolicy,
+    retry_failed: bool,
+    f: F,
+) -> Result<Vec<PointRun<R>>, SimError>
+where
+    P: Sync,
+    R: Send + Serialize + Deserialize,
+    F: Fn(&P, u64) -> Result<R, SimError> + Sync,
+{
+    let seeds: Vec<u64> = (0..points.len() as u64)
+        .map(|i| point_seed(master_seed, i))
+        .collect();
+    let (replayed, valid_bytes) = catch_unwind(AssertUnwindSafe(|| {
+        replay_journal::<R>(journal_path, points.len(), &seeds)
+    }))
+    .unwrap_or_else(|payload| {
+        Err(journal_io_error(
+            "journal replay panicked",
+            panic_message(payload),
+        ))
+    })?;
+    match std::fs::metadata(journal_path) {
+        Ok(meta) if meta.len() > valid_bytes => {
+            let file = std::fs::OpenOptions::new()
+                .write(true)
+                .open(journal_path)
+                .map_err(|e| journal_io_error("opening journal to drop a torn tail", e))?;
+            file.set_len(valid_bytes)
+                .map_err(|e| journal_io_error("truncating a torn journal tail", e))?;
+            file.sync_data()
+                .map_err(|e| journal_io_error("fsyncing a truncated journal", e))?;
+        }
+        _ => {}
+    }
+    let rerun = |slot: &Option<ReplayedSlot<R>>| match slot {
+        None => true,
+        Some(ReplayedSlot::Row(_)) => false,
+        Some(ReplayedSlot::Tombstone { .. }) => retry_failed,
+    };
+    let missing: Vec<usize> = (0..points.len()).filter(|&i| rerun(&replayed[i])).collect();
+
+    let file = Mutex::new(
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(journal_path)
+            .map_err(|e| journal_io_error("opening journal", e))?,
+    );
+    let journal_failure: Mutex<Option<SimError>> = Mutex::new(None);
+    let completed = AtomicUsize::new(
+        replayed
+            .iter()
+            .filter(|slot| matches!(slot, Some(ReplayedSlot::Row(_))))
+            .count(),
+    );
+    let record_journal_failure = |e: SimError| {
+        let mut slot = journal_failure
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+    };
+
+    let fresh: Vec<(usize, PointRun<R>)> = missing
+        .par_iter()
+        .map(|&index| {
+            let (result, attempts) = retry::run_with_retry(policy, seeds[index], ctl, || {
+                run_point(index, || f(&points[index], seeds[index]))
+            });
+            // Journal the terminal outcome — success row or quarantine
+            // tombstone — inside its own fault boundary. Cancellations
+            // are deliberately not journaled.
+            let record = match &result {
+                Ok(row) => {
+                    completed.fetch_add(1, Ordering::Relaxed);
+                    Some(("payload", row.to_value(), None))
+                }
+                Err(SimError::Cancelled { .. }) => None,
+                Err(terminal) => {
+                    retry::note_quarantine();
+                    Some(("tombstone", terminal.to_value(), Some(attempts)))
+                }
+            };
+            if let Some((key, body, recorded_attempts)) = record {
+                let appended = catch_unwind(AssertUnwindSafe(|| {
+                    append_journal_record(&file, index, seeds[index], key, body, recorded_attempts)
+                }))
+                .unwrap_or_else(|payload| {
+                    Err(journal_io_error(
+                        "journal append panicked",
+                        panic_message(payload),
+                    ))
+                });
+                if let Err(e) = appended {
+                    record_journal_failure(e);
+                }
+            }
+            (index, PointRun { result, attempts })
+        })
+        .collect();
+
+    if let Some(e) = journal_failure
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+        .take()
+    {
+        return Err(e);
+    }
+    if let Some(reason) = ctl.cancelled_reason() {
+        return Err(sweep_cancelled(
+            reason,
+            completed.load(Ordering::Relaxed),
+            points.len(),
+        ));
+    }
+
+    let mut slots: Vec<Option<PointRun<R>>> = replayed
+        .into_iter()
+        .map(|slot| match slot {
+            Some(ReplayedSlot::Row(row)) => Some(PointRun {
+                result: Ok(row),
+                attempts: 0,
+            }),
+            Some(ReplayedSlot::Tombstone { error, attempts }) => {
+                if retry_failed {
+                    None
+                } else {
+                    retry::note_tombstone_skip();
+                    Some(PointRun {
+                        result: Err(error),
+                        attempts,
+                    })
+                }
+            }
+            None => None,
+        })
+        .collect();
+    for (index, run) in fresh {
+        slots[index] = Some(run);
+    }
+    Ok(slots
+        .into_iter()
+        .map(|slot| {
+            slot.unwrap_or_else(|| {
+                unreachable!("every sweep point is replayed, skipped, or freshly run")
             })
         })
         .collect())
@@ -1069,6 +1379,243 @@ mod tests {
         std::fs::write(&path, patched).unwrap();
         let err = try_sweep_resumable(11, &points, &path, &ctl, |&p, _| Ok(p)).unwrap_err();
         assert!(matches!(err, SimError::Config(_)), "{err:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn retry_sweep_heals_transient_failures_byte_identically() {
+        use std::collections::HashMap;
+        let points: Vec<u64> = (0..6).collect();
+        let ctl = RunCtl::unlimited();
+        let policy = RetryPolicy::new(3, std::time::Duration::ZERO);
+        // Every point fails transiently on its first attempt; the
+        // healed output must equal the fault-free run's exactly.
+        let failures: Mutex<HashMap<usize, usize>> = Mutex::new(HashMap::new());
+        let runs = try_sweep_retry_with_ctl(7, &points, &ctl, &policy, |&p, seed| {
+            let mut guard = failures.lock().unwrap();
+            let count = guard.entry(p as usize).or_insert(0);
+            *count += 1;
+            if *count == 1 {
+                return Err(SimError::Faulted {
+                    unit: format!("point {p}"),
+                    message: "injected transient".into(),
+                });
+            }
+            Ok(p * 1000 + seed % 100)
+        })
+        .expect("no outer cancellation");
+        let clean = try_sweep_seeded(7, &points, |&p, seed| p * 1000 + seed % 100);
+        for (run, direct) in runs.iter().zip(clean.iter()) {
+            assert_eq!(run.result.as_ref().unwrap(), direct.as_ref().unwrap());
+            assert_eq!(run.attempts, 2, "one failure, one healing retry");
+        }
+    }
+
+    #[test]
+    fn retry_sweep_exhausts_attempts_and_keeps_other_points() {
+        let points: Vec<u64> = (0..4).collect();
+        let ctl = RunCtl::unlimited();
+        let policy = RetryPolicy::new(2, std::time::Duration::ZERO);
+        let runs = try_sweep_retry_with_ctl(7, &points, &ctl, &policy, |&p, _| {
+            if p == 2 {
+                return Err(SimError::Faulted {
+                    unit: "point 2".into(),
+                    message: "always faults".into(),
+                });
+            }
+            Ok(p)
+        })
+        .expect("no outer cancellation");
+        assert!(runs[2].result.is_err());
+        assert_eq!(runs[2].attempts, 2, "budget of 2 fully spent");
+        for (i, run) in runs.iter().enumerate() {
+            if i != 2 {
+                assert_eq!(run.result.as_ref().unwrap(), &(i as u64));
+                assert_eq!(run.attempts, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn retry_sweep_never_retries_permanent_or_cancelled_points() {
+        let points: Vec<u64> = (0..3).collect();
+        let ctl = RunCtl::unlimited();
+        let policy = RetryPolicy::new(5, std::time::Duration::ZERO);
+        let calls = AtomicUsize::new(0);
+        let runs = try_sweep_retry_with_ctl(7, &points, &ctl, &policy, |&p, _| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            match p {
+                0 => Err(SimError::invalid_input("bad point")),
+                1 => Err(SimError::Cancelled {
+                    at_sim_time: SimTime::ZERO,
+                    reason: "per-point deadline".into(),
+                }),
+                _ => Ok(p),
+            }
+        })
+        .expect("no outer cancellation");
+        assert_eq!(calls.load(Ordering::Relaxed), 3, "one call per point");
+        assert_eq!(runs[0].attempts, 1);
+        assert_eq!(runs[1].attempts, 1);
+        assert!(matches!(
+            &runs[0].result,
+            Err(SimError::InvalidInput { .. })
+        ));
+        assert!(matches!(&runs[1].result, Err(SimError::Cancelled { .. })));
+    }
+
+    #[test]
+    fn quarantined_points_are_tombstoned_and_skipped_on_resume() {
+        let path = temp_journal("tombstone");
+        std::fs::remove_file(&path).ok();
+        let points: Vec<u64> = (0..5).collect();
+        let ctl = RunCtl::unlimited();
+        let policy = RetryPolicy::new(2, std::time::Duration::ZERO);
+        let poison = |&p: &u64, seed: u64| {
+            if p == 3 {
+                return Err(SimError::Faulted {
+                    unit: "point 3".into(),
+                    message: "poison".into(),
+                });
+            }
+            Ok(p * 10 + seed % 10)
+        };
+        let first = try_sweep_resumable_retry(11, &points, &path, &ctl, &policy, false, poison)
+            .expect("first run");
+        assert!(first[3].result.is_err());
+        assert_eq!(first[3].attempts, 2);
+        // The journal holds 4 rows + 1 tombstone, all hash-validated.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 5);
+        let tombstones: Vec<&str> = text.lines().filter(|l| l.contains("tombstone")).collect();
+        assert_eq!(tombstones.len(), 1);
+        let v: Value = serde_json::from_str(tombstones[0]).unwrap();
+        assert_eq!(v["index"].as_u64(), Some(3));
+        assert_eq!(v["attempts"].as_u64(), Some(2));
+        // Resume: the tombstone is skipped deterministically — the
+        // closure must not run for point 3 even though it would now
+        // succeed.
+        let reruns = AtomicUsize::new(0);
+        let resumed =
+            try_sweep_resumable_retry(11, &points, &path, &ctl, &policy, false, |&p, seed| {
+                reruns.fetch_add(1, Ordering::Relaxed);
+                Ok(p * 10 + seed % 10)
+            })
+            .expect("resume");
+        assert_eq!(reruns.load(Ordering::Relaxed), 0, "nothing re-runs");
+        assert!(resumed[3].result.is_err());
+        assert_eq!(resumed[3].attempts, 2, "recorded attempt count replays");
+        let recorded = resumed[3].result.as_ref().unwrap_err();
+        assert!(recorded.to_string().contains("poison"), "{recorded}");
+        // --retry-failed re-runs the tombstoned point; its fresh
+        // success supersedes the tombstone for every later replay.
+        let healed =
+            try_sweep_resumable_retry(11, &points, &path, &ctl, &policy, true, |&p, seed| {
+                Ok(p * 10 + seed % 10)
+            })
+            .expect("retry-failed run");
+        assert_eq!(
+            healed[3].result.as_ref().unwrap(),
+            &(30 + point_seed(11, 3) % 10)
+        );
+        let after = try_sweep_resumable_retry(
+            11,
+            &points,
+            &path,
+            &ctl,
+            &policy,
+            false,
+            |_: &u64, _| -> Result<u64, SimError> { panic!("fully journaled: nothing re-runs") },
+        )
+        .expect("post-heal replay");
+        assert!(after.iter().all(|run| run.result.is_ok()));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tombstones_from_a_foreign_journal_are_rejected() {
+        let path = temp_journal("foreign-tombstone");
+        std::fs::remove_file(&path).ok();
+        let points: Vec<u64> = (0..3).collect();
+        let ctl = RunCtl::unlimited();
+        let policy = RetryPolicy::new(1, std::time::Duration::ZERO);
+        try_sweep_resumable_retry(11, &points, &path, &ctl, &policy, false, |&p, _| {
+            if p == 1 {
+                Err(SimError::Faulted {
+                    unit: "point 1".into(),
+                    message: "poison".into(),
+                })
+            } else {
+                Ok(p)
+            }
+        })
+        .expect("seed the journal");
+        // A different master seed must reject the whole journal,
+        // tombstone lines included.
+        let err =
+            try_sweep_resumable_retry(12, &points, &path, &ctl, &policy, false, |&p, _| Ok(p))
+                .unwrap_err();
+        assert!(matches!(&err, SimError::Config(e) if e.context == "SweepJournal"));
+        // A tampered tombstone body (hash no longer matches) is corrupt.
+        // Replay accepts lines in any order, so rewrite the journal
+        // with the tombstone *first* — corruption of a non-final line
+        // is a hard typed error, never silently re-run.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let (tombstones, rows): (Vec<&str>, Vec<&str>) =
+            text.lines().partition(|l| l.contains("tombstone"));
+        assert_eq!(tombstones.len(), 1, "exactly one quarantined point");
+        let doctored = tombstones[0].replace("poison", "doctored");
+        assert_ne!(doctored, tombstones[0]);
+        let mut reordered = vec![doctored.as_str()];
+        reordered.extend(rows);
+        std::fs::write(&path, format!("{}\n", reordered.join("\n"))).unwrap();
+        let err =
+            try_sweep_resumable_retry(11, &points, &path, &ctl, &policy, false, |&p, _| Ok(p))
+                .unwrap_err();
+        match &err {
+            SimError::Config(e) => {
+                assert_eq!(e.context, "SweepJournal");
+                assert!(e.message.contains("hash mismatch"), "{e}");
+            }
+            other => panic!("expected Config, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn plain_resumable_driver_reruns_tombstoned_points() {
+        let path = temp_journal("tombstone-compat");
+        std::fs::remove_file(&path).ok();
+        let points: Vec<u64> = (0..3).collect();
+        let ctl = RunCtl::unlimited();
+        let policy = RetryPolicy::new(1, std::time::Duration::ZERO);
+        try_sweep_resumable_retry(11, &points, &path, &ctl, &policy, false, |&p, _| {
+            if p == 1 {
+                Err(SimError::Faulted {
+                    unit: "point 1".into(),
+                    message: "poison".into(),
+                })
+            } else {
+                Ok(p * 7)
+            }
+        })
+        .expect("seed journal with a tombstone");
+        // The non-quarantining driver honors its own contract: failed
+        // points (tombstoned or not) re-run on resume.
+        let reruns = AtomicUsize::new(0);
+        let resumed = try_sweep_resumable(11, &points, &path, &ctl, |&p, _| {
+            reruns.fetch_add(1, Ordering::Relaxed);
+            Ok(p * 7)
+        })
+        .expect("plain resume");
+        assert_eq!(
+            reruns.load(Ordering::Relaxed),
+            1,
+            "only the tombstoned point"
+        );
+        for (i, r) in resumed.iter().enumerate() {
+            assert_eq!(r.as_ref().unwrap(), &(i as u64 * 7));
+        }
         std::fs::remove_file(&path).ok();
     }
 

@@ -17,12 +17,15 @@ use serde::{DeError, Deserialize, Serialize, Value};
 use std::path::Path;
 use sustain_grid::region::{Region, RegionProfile};
 use sustain_hpc_core::scenario::{run_with_ctl, Scenario, ScenarioResult};
-use sustain_hpc_core::sweep::{point_seed, try_sweep_memo_with_ctl, try_sweep_resumable};
+use sustain_hpc_core::sweep::{
+    point_seed, try_sweep_memo_with_ctl, try_sweep_resumable, try_sweep_resumable_retry,
+};
 use sustain_scheduler::cluster::Cluster;
 use sustain_scheduler::sim::{CarbonAwareCfg, Policy};
 use sustain_sim_core::ctl::{CancelToken, Deadline, RunCtl};
 use sustain_sim_core::error::{ConfigError, SimError, Validate};
 use sustain_sim_core::hash::CanonicalHash;
+use sustain_sim_core::retry::RetryPolicy;
 
 /// Looks a region up by name, case-insensitively and ignoring spaces
 /// (`"greatbritain"`, `"Great Britain"`, and `"GreatBritain"` all
@@ -526,6 +529,41 @@ pub fn sweep_body_resumable(
     render_sweep_response(req, results)
 }
 
+/// [`sweep_body_resumable`] through the self-healing driver: points
+/// that fail transiently (injected faults, recoverable infrastructure
+/// errors) are retried under the process-wide [`RetryPolicy`] with
+/// deterministic per-point backoff, and points that exhaust their
+/// attempts are quarantined as tombstone records in the journal.
+/// Replaying the journal skips tombstoned points (their recorded error
+/// is reported without re-running them) unless `retry_failed` is set,
+/// in which case they are re-run and — on success — superseded in the
+/// journal. When every fault heals, the response is byte-identical to
+/// a fault-free [`sweep_body`] run of the same request.
+pub fn sweep_body_resumable_retry(
+    req: &SweepRequest,
+    journal: &Path,
+    token: Option<&CancelToken>,
+    retry_failed: bool,
+) -> Result<String, SimError> {
+    let scenarios = sweep_scenarios(req)?;
+    let ctl = request_ctl(req.timeout_ms, token);
+    let policy = RetryPolicy::from_global();
+    let runs = try_sweep_resumable_retry(
+        req.master_seed,
+        &scenarios,
+        journal,
+        &ctl,
+        &policy,
+        retry_failed,
+        |scenario, _| run_with_ctl(scenario, &ctl).map(|r| sweep_row(scenario.seed, r)),
+    )?;
+    // Attempt counts are surfaced through the retry counters
+    // (`GET /stats`, CLI `--stats`), not the response body — keeping
+    // the body byte-identical to the fault-free driver's.
+    let results = runs.into_iter().map(|run| run.result).collect();
+    render_sweep_response(req, results)
+}
+
 /// Structured error payload: every non-2xx response carries one.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ErrorBody {
@@ -539,7 +577,8 @@ pub struct ErrorBody {
 pub struct ErrorDetail {
     /// Machine-readable kind: `config`, `invalid_input`, `faulted`,
     /// `cancelled`, `timeout`, `bad_request`, `not_found`,
-    /// `method_not_allowed`, `overloaded`, or `payload_too_large`.
+    /// `method_not_allowed`, `overloaded`, `unavailable` (circuit
+    /// breaker open), or `payload_too_large`.
     pub kind: String,
     /// Human-readable message.
     pub message: String,

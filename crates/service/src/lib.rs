@@ -14,9 +14,12 @@
 //! |                  | honors `If-None-Match` with `304 Not Modified`               |
 //! | `POST /sweep`    | One-axis sweep through the fault-isolated, content-memoized  |
 //! |                  | sweep driver (duplicate points simulate once)                |
-//! | `GET /healthz`   | Liveness                                                     |
-//! | `GET /stats`     | Trace/outcome/workload cache, hot-path, and per-endpoint     |
-//! |                  | request counters                                             |
+//! | `GET /healthz`   | Liveness (always 200 while the process can answer at all)    |
+//! | `GET /readyz`    | Readiness: 200 only while `Healthy`; 503 (+ `Retry-After`)   |
+//! |                  | when a breaker is open, the windowed error rate is high      |
+//! |                  | (`Degraded`), or shutdown has begun (`Draining`)             |
+//! | `GET /stats`     | Trace/outcome/workload cache, hot-path, self-healing         |
+//! |                  | (retry/breaker/watchdog), and per-endpoint request counters  |
 //! | `POST /shutdown` | Ask the embedding loop to drain and exit                     |
 //!
 //! Responses are byte-identical to the one-shot CLI (`sustain-hpc run`
@@ -24,7 +27,9 @@
 //! handlers. Errors come back as structured JSON
 //! (`{"error": {"kind", "message", ...}}`) with 4xx for anything the
 //! caller got wrong and 5xx only for isolated faults. Overload is a
-//! fast 429 from a bounded accept queue; shutdown cooperatively
+//! fast 429 from a bounded accept queue (with `Retry-After`); a
+//! persistently faulting endpoint is circuit-broken into typed 503s
+//! instead of burning workers (see [`health`]); shutdown cooperatively
 //! cancels in-flight simulations (typed `Cancelled`, 408) and still
 //! answers every accepted request before the workers exit. See the
 //! [`server`] module docs for the thread-budget sharing and fault-
@@ -37,12 +42,17 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod api;
+pub mod health;
 pub mod http;
 pub mod server;
 pub mod signal;
 
 pub use api::{
-    run_body, run_body_with_ctl, run_etag, sweep_body, sweep_body_resumable, sweep_body_with_ctl,
-    RunRequest, SweepRequest,
+    run_body, run_body_with_ctl, run_etag, sweep_body, sweep_body_resumable,
+    sweep_body_resumable_retry, sweep_body_with_ctl, RunRequest, SweepRequest,
 };
-pub use server::{serve, ServeOptions, ServerHandle, StatsBody};
+pub use health::{
+    init_health_from_env, Health, ProcessHealth, SelfHealingSnapshot, BREAKER_TRIP_ENV,
+    WATCHDOG_FACTOR_ENV,
+};
+pub use server::{serve, ReadyBody, ServeOptions, ServerHandle, StatsBody};

@@ -48,14 +48,21 @@ use sustain_grid::synth::{global_trace_cache, CacheStats};
 use sustain_hpc_core::cache::global_outcome_cache;
 use sustain_scheduler::metrics::{hot_path_totals, HotPathStats};
 use sustain_sim_core::ctl::{CancelToken, Deadline};
-use sustain_telemetry::requests::{EndpointSnapshot, RequestLog};
+use sustain_telemetry::requests::{EndpointSnapshot, RequestLog, WindowStats};
 use sustain_workload::synth::global_workload_cache;
 
 use crate::api;
+use crate::health::{Admission, BreakerSnapshot, Health, ProcessHealth, SelfHealingSnapshot};
 use crate::http::{
     drain_unread, read_request, write_json_response, write_json_response_with_headers, HttpError,
     Request,
 };
+
+/// How often the watchdog thread sweeps the in-flight registry. Small
+/// enough that a stuck request is cancelled promptly even under tiny
+/// test deadlines; the sweep itself is one short lock over a handful of
+/// entries.
+const WATCHDOG_SCAN_INTERVAL: Duration = Duration::from_millis(5);
 
 /// How the serve loop is configured. `Default` binds an ephemeral
 /// loopback port with 4 in-flight slots and a queue of 16.
@@ -112,8 +119,22 @@ pub struct StatsBody {
     pub workload_cache: CacheStats,
     /// Process-wide scheduler hot-path totals.
     pub hot_path: HotPathStats,
+    /// Retry/breaker/watchdog counters and per-endpoint breaker states.
+    pub self_healing: SelfHealingSnapshot,
     /// Per-endpoint request counts and latency histograms.
     pub requests: Vec<EndpointSnapshot>,
+}
+
+/// Body of `GET /readyz`: the process health verdict plus the inputs it
+/// was derived from.
+#[derive(Debug, Clone, Serialize)]
+pub struct ReadyBody {
+    /// `healthy`, `degraded`, or `draining` (non-`healthy` is a 503).
+    pub status: String,
+    /// Sliding-window request outcomes feeding the verdict.
+    pub window: WindowStats,
+    /// Per-endpoint breaker states feeding the verdict.
+    pub breakers: Vec<BreakerSnapshot>,
 }
 
 /// Everything the accept thread and workers share.
@@ -132,6 +153,8 @@ struct Inner {
     in_flight: AtomicUsize,
     rejected_overload: AtomicU64,
     log: RequestLog,
+    /// Circuit breakers, watchdog registry, and self-healing counters.
+    health: Health,
     options: ServeOptions,
     workers: usize,
 }
@@ -176,6 +199,10 @@ impl ServerHandle {
     /// with a typed 408. Returns immediately.
     pub fn shutdown(&self) {
         self.inner.cancel.cancel("shutdown requested");
+        // In-flight requests run under their own per-request tokens
+        // (so the watchdog can cancel one without cancelling all):
+        // walk the registry and fire each of them too.
+        self.inner.health.cancel_inflight("shutdown requested");
         self.inner.shutdown.store(true, Ordering::SeqCst);
         self.inner.queue_signal.notify_all();
     }
@@ -220,6 +247,7 @@ pub fn serve(options: ServeOptions) -> io::Result<ServerHandle> {
         in_flight: AtomicUsize::new(0),
         rejected_overload: AtomicU64::new(0),
         log: RequestLog::new(),
+        health: Health::new(),
         options: options.clone(),
         workers,
     });
@@ -229,7 +257,7 @@ pub fn serve(options: ServeOptions) -> io::Result<ServerHandle> {
         .name("svc-accept".to_string())
         .spawn(move || accept_loop(listener, &accept_inner))?;
 
-    let mut worker_threads = Vec::with_capacity(workers);
+    let mut worker_threads = Vec::with_capacity(workers + 1);
     for index in 0..workers {
         let worker_inner = Arc::clone(&inner);
         worker_threads.push(
@@ -238,6 +266,21 @@ pub fn serve(options: ServeOptions) -> io::Result<ServerHandle> {
                 .spawn(move || worker_loop(index, &worker_inner))?,
         );
     }
+
+    // The watchdog sweeps the in-flight registry and force-cancels any
+    // request stuck past the hard multiple of its own deadline budget;
+    // it exits with the rest of the pool on shutdown.
+    let watchdog_inner = Arc::clone(&inner);
+    worker_threads.push(
+        std::thread::Builder::new()
+            .name("svc-watchdog".to_string())
+            .spawn(move || {
+                while !watchdog_inner.shutdown.load(Ordering::SeqCst) {
+                    watchdog_inner.health.scan_watchdog();
+                    std::thread::sleep(WATCHDOG_SCAN_INTERVAL);
+                }
+            })?,
+    );
 
     Ok(ServerHandle {
         addr,
@@ -272,7 +315,12 @@ fn accept_loop(listener: TcpListener, inner: &Inner) {
                             None,
                             None,
                         );
-                        let _ = write_json_response(&mut conn, 429, &body);
+                        let _ = write_json_response_with_headers(
+                            &mut conn,
+                            429,
+                            &body,
+                            &[("Retry-After", "1")],
+                        );
                         // The request bytes were never read: drain so
                         // the 429 survives the close instead of being
                         // RST-discarded.
@@ -390,6 +438,7 @@ fn panic_text(payload: &(dyn std::any::Any + Send)) -> &str {
 fn endpoint_label(req: &Request) -> String {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz")
+        | ("GET", "/readyz")
         | ("GET", "/stats")
         | ("POST", "/run")
         | ("POST", "/sweep")
@@ -410,8 +459,45 @@ fn handle_connection(conn: &mut TcpStream, inner: &Inner) {
     let (label, status, body, etag) = match parsed {
         Ok(req) => {
             let label = endpoint_label(&req);
-            let (status, body, etag) = route(&req, inner);
-            (label, status, body, etag)
+            // Per-endpoint circuit breaker: an open breaker answers a
+            // typed 503 (with Retry-After) without running the handler
+            // at all, so a persistently faulting endpoint stops burning
+            // worker time while the rest of the API keeps serving.
+            let admission = inner.health.admit(&label);
+            if admission == Admission::Reject {
+                let body = api::error_body(
+                    "unavailable",
+                    &format!("circuit breaker for {label} is open; retry later"),
+                    None,
+                    None,
+                );
+                (label, 503, body, None)
+            } else {
+                // Endpoint-aware fault boundary: a panicking handler
+                // counts against *this endpoint's* breaker (the
+                // worker-level boundary stays as the backstop for
+                // everything outside routing).
+                let routed = catch_unwind(AssertUnwindSafe(|| route(&req, inner)));
+                match routed {
+                    Ok((status, body, etag)) => {
+                        inner.health.report(&label, admission, status >= 500);
+                        (label, status, body, etag)
+                    }
+                    Err(payload) => {
+                        inner.health.report(&label, admission, true);
+                        let body = api::error_body(
+                            "faulted",
+                            &format!(
+                                "fault isolated in request handler: {}",
+                                panic_text(payload.as_ref())
+                            ),
+                            None,
+                            None,
+                        );
+                        (label, 500, body, None)
+                    }
+                }
+            }
         }
         Err(e) => {
             let (status, kind) = match &e {
@@ -425,10 +511,15 @@ fn handle_connection(conn: &mut TcpStream, inner: &Inner) {
         }
     };
     sustain_sim_core::faultpoint!(infallible "service::respond");
-    let _ = match &etag {
-        Some(tag) => write_json_response_with_headers(conn, status, &body, &[("ETag", tag)]),
-        None => write_json_response(conn, status, &body),
-    };
+    let mut headers: Vec<(&str, &str)> = Vec::new();
+    if let Some(tag) = &etag {
+        headers.push(("ETag", tag));
+    }
+    if status == 503 || status == 429 {
+        // Every shedding response tells the client when to come back.
+        headers.push(("Retry-After", "1"));
+    }
+    let _ = write_json_response_with_headers(conn, status, &body, &headers);
     if !fully_read {
         // The request was not fully consumed: drain what remains so
         // closing after the error response does not RST it away.
@@ -444,6 +535,10 @@ fn handle_connection(conn: &mut TcpStream, inner: &Inner) {
 fn route(req: &Request, inner: &Inner) -> (u16, String, Option<String>) {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => (200, "{\n  \"status\": \"ok\"\n}".to_string(), None),
+        ("GET", "/readyz") => {
+            let (status, body) = ready_response(inner);
+            (status, body, None)
+        }
         ("GET", "/stats") => {
             let (status, body) = stats_response(inner);
             (status, body, None)
@@ -460,7 +555,8 @@ fn route(req: &Request, inner: &Inner) -> (u16, String, Option<String>) {
                         return (304, String::new(), etag);
                     }
                 }
-                match api::run_body_with_ctl(&run_req, Some(&inner.cancel)) {
+                let (token, _watch) = request_token(inner, run_req.timeout_ms);
+                match api::run_body_with_ctl(&run_req, Some(&token)) {
                     Ok(body) => (200, body, etag),
                     Err(e) => {
                         let (status, body) = api::sim_error_response(&e);
@@ -471,13 +567,16 @@ fn route(req: &Request, inner: &Inner) -> (u16, String, Option<String>) {
             Err((status, body)) => (status, body, None),
         },
         ("POST", "/sweep") => match parse_body::<api::SweepRequest>(&req.body) {
-            Ok(sweep_req) => match api::sweep_body_with_ctl(&sweep_req, Some(&inner.cancel)) {
-                Ok(body) => (200, body, None),
-                Err(e) => {
-                    let (status, body) = api::sim_error_response(&e);
-                    (status, body, None)
+            Ok(sweep_req) => {
+                let (token, _watch) = request_token(inner, sweep_req.timeout_ms);
+                match api::sweep_body_with_ctl(&sweep_req, Some(&token)) {
+                    Ok(body) => (200, body, None),
+                    Err(e) => {
+                        let (status, body) = api::sim_error_response(&e);
+                        (status, body, None)
+                    }
                 }
-            },
+            }
             Err((status, body)) => (status, body, None),
         },
         ("POST", "/shutdown") => {
@@ -512,6 +611,28 @@ fn route(req: &Request, inner: &Inner) -> (u16, String, Option<String>) {
     }
 }
 
+/// Builds the per-request cancellation token and registers it with the
+/// watchdog for the request's lifetime. Each request gets its *own*
+/// token (not a clone of the server-wide one) so the watchdog can
+/// cancel one stuck request without cancelling its neighbours; server
+/// shutdown still reaches it, both via the post-registration check here
+/// (closing the race with a shutdown that fired just before
+/// registration) and via [`Health::cancel_inflight`] walking the
+/// registry.
+fn request_token<'a>(
+    inner: &'a Inner,
+    timeout_ms: Option<u64>,
+) -> (CancelToken, crate::health::WatchGuard<'a>) {
+    let token = CancelToken::new();
+    let watch = inner
+        .health
+        .watch(&token, timeout_ms.map(Duration::from_millis));
+    if let Some(reason) = inner.cancel.reason() {
+        token.cancel(&reason);
+    }
+    (token, watch)
+}
+
 /// Parses a JSON request body into `T`, mapping failure to a 400 with a
 /// typed `bad_request` body.
 fn parse_body<T: Deserialize>(body: &[u8]) -> Result<T, (u16, String)> {
@@ -540,6 +661,7 @@ fn stats_response(inner: &Inner) -> (u16, String) {
         outcome_cache: global_outcome_cache().stats(),
         workload_cache: global_workload_cache().stats(),
         hot_path: hot_path_totals(),
+        self_healing: inner.health.snapshot(),
         requests: inner.log.snapshot(),
     };
     match serde_json::to_string_pretty(&stats) {
@@ -549,6 +671,40 @@ fn stats_response(inner: &Inner) -> (u16, String) {
             api::error_body(
                 "faulted",
                 &format!("cannot serialize stats: {e}"),
+                None,
+                None,
+            ),
+        ),
+    }
+}
+
+/// Builds the `GET /readyz` response: 200 only when the process is
+/// [`ProcessHealth::Healthy`]; a degraded or draining process answers
+/// 503 (with `Retry-After`) so load balancers stop routing here while
+/// `GET /healthz` keeps reporting liveness.
+fn ready_response(inner: &Inner) -> (u16, String) {
+    let draining = inner.shutdown.load(Ordering::SeqCst)
+        || inner.shutdown_requested.load(Ordering::SeqCst)
+        || inner.cancel.is_cancelled();
+    let window = inner.log.window();
+    let health = inner.health.process_health(draining, &window);
+    let body = ReadyBody {
+        status: health.name().to_string(),
+        window,
+        breakers: inner.health.snapshot().breakers,
+    };
+    let status = if health == ProcessHealth::Healthy {
+        200
+    } else {
+        503
+    };
+    match serde_json::to_string_pretty(&body) {
+        Ok(body) => (status, body),
+        Err(e) => (
+            500,
+            api::error_body(
+                "faulted",
+                &format!("cannot serialize readiness: {e}"),
                 None,
                 None,
             ),

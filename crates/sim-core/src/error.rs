@@ -111,11 +111,54 @@ pub enum SimError {
     },
 }
 
+/// Whether retrying the failed work can possibly change the outcome.
+///
+/// This is the classification the self-healing layer (see
+/// [`crate::retry`] and DESIGN.md §11) keys every retry decision on.
+/// The mapping from [`SimError`] is total and deliberate:
+///
+/// | Variant        | Transience   | Rationale                                        |
+/// |----------------|--------------|--------------------------------------------------|
+/// | `Faulted`      | `Transient`  | Injected faults, caught panics, cache-fill and   |
+/// |                |              | poisoned-lock recoveries — not a property of the |
+/// |                |              | input, so a clean re-execution may succeed       |
+/// | `Config`       | `Permanent`  | The input itself is rejected; retrying re-runs   |
+/// |                |              | the same validation on the same bytes            |
+/// | `InvalidInput` | `Permanent`  | Same: deterministic boundary rejection           |
+/// | `Cancelled`    | `NeverRetry` | A deliberate stop (shutdown, deadline); retrying |
+/// |                |              | would defy the operator or the budget            |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Transience {
+    /// A re-execution may succeed: the failure is environmental, not a
+    /// property of the input.
+    Transient,
+    /// A re-execution is guaranteed to fail identically: the input
+    /// itself was rejected.
+    Permanent,
+    /// Work stopped on purpose; retrying is forbidden, not just
+    /// pointless.
+    NeverRetry,
+}
+
 impl SimError {
     /// Shorthand for [`SimError::InvalidInput`].
     pub fn invalid_input(message: impl Into<String>) -> SimError {
         SimError::InvalidInput {
             message: message.into(),
+        }
+    }
+
+    /// Classifies this error for the retry layer (see [`Transience`]).
+    ///
+    /// The match is deliberately exhaustive — no wildcard arm — so
+    /// adding a `SimError` variant without deciding its transience is a
+    /// compile error here, not a silent misclassification at runtime.
+    pub fn transience(&self) -> Transience {
+        match self {
+            SimError::Faulted { .. } => Transience::Transient,
+            SimError::Config(_) => Transience::Permanent,
+            SimError::InvalidInput { .. } => Transience::Permanent,
+            SimError::Cancelled { .. } => Transience::NeverRetry,
         }
     }
 }
@@ -370,6 +413,52 @@ mod tests {
         };
         let back = SimError::from_value(&c.to_value()).unwrap();
         assert_eq!(back, c);
+    }
+
+    #[test]
+    fn transience_classification_is_total_and_matches_the_table() {
+        // One witness per variant; `transience()` itself is wildcard-free,
+        // so a new variant without a classification fails to compile
+        // before this test can even run.
+        let witnesses: Vec<(SimError, Transience)> = vec![
+            (
+                SimError::Config(ConfigError::new("A", "b", "c")),
+                Transience::Permanent,
+            ),
+            (
+                SimError::invalid_input("days must be >= 1"),
+                Transience::Permanent,
+            ),
+            (
+                SimError::Faulted {
+                    unit: "faultpoint sweep::point".into(),
+                    message: "injected fault at sweep::point (hit 1)".into(),
+                },
+                Transience::Transient,
+            ),
+            (
+                SimError::Cancelled {
+                    at_sim_time: SimTime::ZERO,
+                    reason: "shutdown requested".into(),
+                },
+                Transience::NeverRetry,
+            ),
+        ];
+        for (err, expected) in &witnesses {
+            assert_eq!(err.transience(), *expected, "{err}");
+        }
+        // The witness list itself must stay exhaustive: count the arms.
+        let covered = |e: &SimError| match e {
+            SimError::Config(_) => 0usize,
+            SimError::InvalidInput { .. } => 1,
+            SimError::Faulted { .. } => 2,
+            SimError::Cancelled { .. } => 3,
+        };
+        let mut seen = [false; 4];
+        for (err, _) in &witnesses {
+            seen[covered(err)] = true;
+        }
+        assert_eq!(seen, [true; 4], "every SimError variant has a witness");
     }
 
     #[test]

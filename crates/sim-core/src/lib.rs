@@ -14,6 +14,7 @@
 //! * [`faults`] — the default-off deterministic fault-injection registry;
 //! * [`event`] — a deterministic future-event list;
 //! * [`engine`] — a generic discrete-event simulation driver;
+//! * [`retry`] — deterministic bounded-backoff retry over transient faults;
 //! * [`rng`] — reproducible random streams with named sub-stream derivation;
 //! * [`stats`] — streaming/batch statistics, correlation, error metrics;
 //! * [`series`] — regularly sampled time series with integration;
@@ -36,6 +37,7 @@ pub mod error;
 pub mod event;
 pub mod faults;
 pub mod hash;
+pub mod retry;
 pub mod rng;
 pub mod series;
 pub mod stats;
@@ -45,10 +47,11 @@ pub mod units;
 pub use cache::{CacheStats, LruCache};
 pub use ctl::{CancelToken, Deadline, RunCtl};
 pub use engine::{Ctx, Engine, Process, RunOutcome};
-pub use error::{ConfigError, SimError, Validate};
+pub use error::{ConfigError, SimError, Transience, Validate};
 pub use event::{EventId, EventQueue};
 pub use faults::FaultError;
 pub use hash::{CanonicalHash, CanonicalHasher};
+pub use retry::{RetryPolicy, RetryStats};
 pub use rng::RngStream;
 pub use series::TimeSeries;
 pub use stats::{RunningStats, Summary};

@@ -14,9 +14,40 @@
 
 use parking_lot::Mutex;
 use serde::Serialize;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Capacity of the sliding error window: the readiness state machine
+/// judges the last this-many requests, not lifetime totals, so a burst
+/// of faults degrades the process and a burst of successes heals it.
+pub const ERROR_WINDOW: usize = 64;
+
+/// Fewest window samples before an error *rate* is meaningful; below
+/// this the window reports a zero rate rather than letting one early
+/// fault read as "100 % failing".
+pub const ERROR_WINDOW_MIN_SAMPLES: usize = 8;
+
+/// Snapshot of the sliding error window: the last [`ERROR_WINDOW`]
+/// requests and how many of them were 5xx.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct WindowStats {
+    /// Requests currently in the window (saturates at [`ERROR_WINDOW`]).
+    pub samples: u64,
+    /// 5xx responses among them.
+    pub errors_5xx: u64,
+}
+
+impl WindowStats {
+    /// Fraction of windowed requests that failed 5xx; zero until
+    /// [`ERROR_WINDOW_MIN_SAMPLES`] requests have been observed.
+    pub fn error_rate(&self) -> f64 {
+        if (self.samples as usize) < ERROR_WINDOW_MIN_SAMPLES {
+            return 0.0;
+        }
+        self.errors_5xx as f64 / self.samples as f64
+    }
+}
 
 /// Upper bounds (inclusive, microseconds) of the latency histogram
 /// buckets; a final unbounded bucket catches everything slower. The
@@ -98,6 +129,9 @@ pub struct EndpointSnapshot {
 #[derive(Debug, Default)]
 pub struct RequestLog {
     endpoints: Mutex<BTreeMap<String, Arc<EndpointCounters>>>,
+    /// Ring of the last [`ERROR_WINDOW`] request outcomes
+    /// (`true` = 5xx), feeding the readiness error rate.
+    window: Mutex<VecDeque<bool>>,
 }
 
 impl RequestLog {
@@ -120,6 +154,20 @@ impl RequestLog {
             }
         };
         counters.record(status, latency_us);
+        let mut window = self.window.lock();
+        if window.len() == ERROR_WINDOW {
+            window.pop_front();
+        }
+        window.push_back(status >= 500);
+    }
+
+    /// Snapshot of the sliding error window across all endpoints.
+    pub fn window(&self) -> WindowStats {
+        let window = self.window.lock();
+        WindowStats {
+            samples: window.len() as u64,
+            errors_5xx: window.iter().filter(|&&failed| failed).count() as u64,
+        }
     }
 
     /// Snapshot of every endpoint seen so far, sorted by endpoint label
@@ -178,6 +226,28 @@ mod tests {
         assert_eq!(run.latency[LATENCY_BUCKETS - 1].le_us, u64::MAX);
         let total: u64 = run.latency.iter().map(|b| b.count).sum();
         assert_eq!(total, run.requests);
+    }
+
+    #[test]
+    fn sliding_window_tracks_recent_errors_and_heals() {
+        let log = RequestLog::new();
+        // Below the minimum sample count the rate is pinned to zero.
+        log.record("POST /run", 500, 10);
+        assert_eq!(log.window().errors_5xx, 1);
+        assert_eq!(log.window().error_rate(), 0.0);
+        for _ in 0..ERROR_WINDOW_MIN_SAMPLES {
+            log.record("POST /run", 500, 10);
+        }
+        let w = log.window();
+        assert!(w.error_rate() > 0.99, "{w:?}");
+        // A full window of successes pushes every failure out.
+        for _ in 0..ERROR_WINDOW {
+            log.record("POST /run", 200, 10);
+        }
+        let w = log.window();
+        assert_eq!(w.samples, ERROR_WINDOW as u64);
+        assert_eq!(w.errors_5xx, 0);
+        assert_eq!(w.error_rate(), 0.0);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! sustain-hpc all --out results/
 //! sustain-hpc list
 //! sustain-hpc run [--request FILE] [--timeout SECS]
-//! sustain-hpc sweep --request FILE [--timeout SECS] [--journal FILE]
+//! sustain-hpc sweep --request FILE [--timeout SECS] [--journal FILE] [--retry-failed]
 //! sustain-hpc serve [--addr HOST:PORT] [--max-inflight N] [--queue-depth N] [--read-timeout-ms N]
 //! ```
 //!
@@ -25,13 +25,20 @@
 //! makes the sweep crash-resumable: each completed point is appended
 //! to the journal (fsync'd), and re-running the same command replays
 //! completed points instead of re-simulating them — the merged output
-//! is byte-identical to an uninterrupted run. `serve` runs until
-//! SIGINT, SIGTERM, or `POST /shutdown`, then cancels in-flight work
-//! (typed 408) and answers every accepted request before exiting.
+//! is byte-identical to an uninterrupted run. Journaled sweeps are
+//! self-healing: transiently-failed points are retried with
+//! deterministic backoff, and points that exhaust their attempts are
+//! quarantined as journal tombstones — replays skip them (reporting
+//! the recorded error) unless `--retry-failed` re-runs them. `serve`
+//! runs until SIGINT, SIGTERM, or `POST /shutdown`, then cancels
+//! in-flight work (typed 408) and answers every accepted request
+//! before exiting.
 //!
 //! Environment knobs (`SUSTAIN_THREADS`, `SUSTAIN_PAR_PENDING_MIN`,
 //! `SUSTAIN_TRACE_CACHE_CAP`, `SUSTAIN_OUTCOME_CACHE_CAP`,
-//! `SUSTAIN_WORKLOAD_CACHE_CAP`, `SUSTAIN_FAULTS`, `SUSTAIN_FAULTS_SEED`)
+//! `SUSTAIN_WORKLOAD_CACHE_CAP`, `SUSTAIN_FAULTS`, `SUSTAIN_FAULTS_SEED`,
+//! `SUSTAIN_RETRY_MAX`, `SUSTAIN_RETRY_BACKOFF_MS`,
+//! `SUSTAIN_BREAKER_TRIP`, `SUSTAIN_WATCHDOG_FACTOR`)
 //! are parsed strictly at startup: an invalid value is a typed error
 //! and a non-zero exit, never a silent fallback.
 
@@ -92,6 +99,9 @@ struct Args {
     timeout_secs: Option<f64>,
     /// `sweep`: checkpoint-journal path for crash-resumable sweeps.
     journal: Option<PathBuf>,
+    /// `sweep`: re-run journal-tombstoned (quarantined) points instead
+    /// of replaying their recorded errors.
+    retry_failed: bool,
     /// `serve`: bind address.
     addr: String,
     /// `serve`: concurrent request cap.
@@ -113,6 +123,7 @@ fn parse_args() -> Result<Args, String> {
     let mut request = None;
     let mut timeout_secs = None;
     let mut journal = None;
+    let mut retry_failed = false;
     let mut addr = "127.0.0.1:8725".to_string();
     let mut max_inflight = 4usize;
     let mut queue_depth = 16usize;
@@ -155,6 +166,7 @@ fn parse_args() -> Result<Args, String> {
                 let v = args.next().ok_or("--journal needs a file path")?;
                 journal = Some(PathBuf::from(v));
             }
+            "--retry-failed" => retry_failed = true,
             "--addr" => {
                 addr = args.next().ok_or("--addr needs HOST:PORT")?;
             }
@@ -182,6 +194,9 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag: {other}")),
         }
     }
+    if retry_failed && journal.is_none() {
+        return Err("--retry-failed needs --journal (tombstones live in the journal)".into());
+    }
     Ok(Args {
         command,
         out,
@@ -192,6 +207,7 @@ fn parse_args() -> Result<Args, String> {
         request,
         timeout_secs,
         journal,
+        retry_failed,
         addr,
         max_inflight,
         queue_depth,
@@ -226,6 +242,8 @@ fn init_env_knobs() -> Result<(), String> {
     sustain_hpc::core::cache::init_outcome_cache_cap_from_env().map_err(|e| e.to_string())?;
     sustain_hpc::workload::synth::init_workload_cache_cap_from_env().map_err(|e| e.to_string())?;
     sustain_hpc::sim_core::faults::init_from_env().map_err(|e| e.to_string())?;
+    sustain_hpc::sim_core::retry::init_retry_from_env().map_err(|e| e.to_string())?;
+    sustain_hpc::service::init_health_from_env().map_err(|e| e.to_string())?;
     Ok(())
 }
 
@@ -335,6 +353,24 @@ fn print_memo_cache_stats() {
     eprintln!(
         "workload cache: {} hits, {} misses, {} evictions, {} live entries (capacity {})",
         w.hits, w.misses, w.evictions, w.len, w.capacity
+    );
+    print_self_healing_stats();
+}
+
+/// `--stats`: prints the process-wide self-healing counters (stderr,
+/// like the others) — how many units of work were retried, healed,
+/// quarantined, or replayed from a tombstone.
+fn print_self_healing_stats() {
+    let r = sustain_hpc::sim_core::retry::retry_stats();
+    eprintln!(
+        "self healing: {} retries, {} healed, {} quarantined, {} tombstone skips \
+         (max {} attempts, {} ms base backoff)",
+        r.retries,
+        r.healed,
+        r.quarantined,
+        r.tombstone_skips,
+        sustain_hpc::sim_core::retry::max_attempts(),
+        sustain_hpc::sim_core::retry::base_backoff_ms()
     );
 }
 
@@ -446,7 +482,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: sustain-hpc <experiment|all|list|run|sweep|serve> [--out DIR] [--seed N] [--days N] [--threads N] [--stats] [--request FILE] [--timeout SECS] [--journal FILE] [--addr HOST:PORT] [--max-inflight N] [--queue-depth N] [--read-timeout-ms N]"
+                "usage: sustain-hpc <experiment|all|list|run|sweep|serve> [--out DIR] [--seed N] [--days N] [--threads N] [--stats] [--request FILE] [--timeout SECS] [--journal FILE] [--retry-failed] [--addr HOST:PORT] [--max-inflight N] [--queue-depth N] [--read-timeout-ms N]"
             );
             return ExitCode::FAILURE;
         }
@@ -508,14 +544,26 @@ fn main() -> ExitCode {
                         req.timeout_ms = Some(ms);
                     }
                     match &args.journal {
-                        Some(path) => sustain_hpc::service::sweep_body_resumable(&req, path, None)
-                            .map_err(|e| e.to_string()),
+                        // Journaled sweeps go through the self-healing
+                        // driver: transient failures retry, exhausted
+                        // points quarantine as tombstones, and
+                        // `--retry-failed` re-runs quarantined points.
+                        Some(path) => sustain_hpc::service::sweep_body_resumable_retry(
+                            &req,
+                            path,
+                            None,
+                            args.retry_failed,
+                        )
+                        .map_err(|e| e.to_string()),
                         None => sustain_hpc::service::sweep_body(&req).map_err(|e| e.to_string()),
                     }
                 },
             ) {
                 Ok(body) => {
                     println!("{body}");
+                    if args.stats {
+                        print_self_healing_stats();
+                    }
                     ExitCode::SUCCESS
                 }
                 Err(e) => {

@@ -122,6 +122,13 @@ fn invalid_env_knobs_are_rejected_with_typed_errors() {
         ("SUSTAIN_FAULTS", "sim::tick:explode:1"),
         ("SUSTAIN_FAULTS", "sim::tick:panic:p2.0"),
         ("SUSTAIN_FAULTS_SEED", "not-a-seed"),
+        ("SUSTAIN_RETRY_MAX", "many"),
+        ("SUSTAIN_RETRY_MAX", "0"),
+        ("SUSTAIN_RETRY_BACKOFF_MS", "soon"),
+        ("SUSTAIN_BREAKER_TRIP", "0"),
+        ("SUSTAIN_BREAKER_TRIP", "-3"),
+        ("SUSTAIN_WATCHDOG_FACTOR", "0"),
+        ("SUSTAIN_WATCHDOG_FACTOR", "4.5"),
     ] {
         let out = if var == "SUSTAIN_FAULTS_SEED" {
             // The seed is only read when a fault plan is present.
@@ -159,6 +166,10 @@ fn valid_env_knobs_are_accepted() {
             "sweep::point:delay:3,sim::tick:panic:p0.5",
         )
         .env("SUSTAIN_FAULTS_SEED", "9")
+        .env("SUSTAIN_RETRY_MAX", "5")
+        .env("SUSTAIN_RETRY_BACKOFF_MS", "10")
+        .env("SUSTAIN_BREAKER_TRIP", "4")
+        .env("SUSTAIN_WATCHDOG_FACTOR", "6")
         .output()
         .unwrap();
     assert!(
